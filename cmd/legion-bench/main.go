@@ -1,0 +1,127 @@
+// Command legion-bench regenerates the experiment tables recorded in
+// EXPERIMENTS.md: one per paper artifact (Tables 1-2, Figures 1-9 as
+// executable behaviour) plus the §6 promised scheduler benchmark and the
+// design ablations from DESIGN.md.
+//
+//	legion-bench            # run everything
+//	legion-bench -run F8,E1 # run selected experiments
+//	legion-bench -list      # list experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"legion/internal/experiments"
+)
+
+// experiment couples an ID with its runner.
+type experiment struct {
+	id    string
+	title string
+	run   func() *experiments.Table
+}
+
+func catalogue() []experiment {
+	return []experiment{
+		{"T1", "Host interface per-op latency (Table 1)", func() *experiments.Table {
+			return experiments.Table1HostInterface(200)
+		}},
+		{"T2", "Reservation type semantics (Table 2)", func() *experiments.Table {
+			return experiments.Table2ReservationTypes()
+		}},
+		{"F1", "Core object hierarchy (Figure 1)", func() *experiments.Table {
+			return experiments.Fig1CoreObjectTree(4, 1, 6)
+		}},
+		{"F2", "RM layering schemes (Figure 2)", func() *experiments.Table {
+			return experiments.Fig2Layerings(20)
+		}},
+		{"F3", "Placement walkthrough (Figure 3)", func() *experiments.Table {
+			return experiments.Fig3PlacementTrace()
+		}},
+		{"F4", "Collection interface (Figure 4)", func() *experiments.Table {
+			return experiments.Fig4CollectionOps(nil)
+		}},
+		{"F5", "Variant selection (Figure 5)", func() *experiments.Table {
+			return experiments.Fig5VariantSelection(64, nil)
+		}},
+		{"F6", "Enactor protocol (Figure 6)", func() *experiments.Table {
+			return experiments.Fig6EnactorProtocol()
+		}},
+		{"F7", "Random scheduler (Figure 7)", func() *experiments.Table {
+			return experiments.Fig7RandomScheduler(nil)
+		}},
+		{"F8", "IRS vs Random (Figures 8-9)", func() *experiments.Table {
+			return experiments.Fig8IRS(30)
+		}},
+		{"E1", "Scheduler intelligence ladder (§6)", func() *experiments.Table {
+			return experiments.E1SchedulerLadder()
+		}},
+		{"E2", "Reservation contention", func() *experiments.Table {
+			return experiments.E2ReservationContention(nil)
+		}},
+		{"E3", "Migration pipeline", func() *experiments.Table {
+			return experiments.E3MigrationPipeline(nil)
+		}},
+		{"E3b", "Trigger-to-outcall latency", func() *experiments.Table {
+			return experiments.E3TriggerLatency(50)
+		}},
+		{"E4", "Function injection (NWS forecasts)", func() *experiments.Table {
+			return experiments.E4FunctionInjection(60)
+		}},
+		{"E5", "Network Objects: comm-aware placement", func() *experiments.Table {
+			return experiments.E5NetworkObjects()
+		}},
+		{"E6", "Monitored rebalancing vs static", func() *experiments.Table {
+			return experiments.E6MonitoredRebalancing(40)
+		}},
+		{"A1", "Ablation: variants vs regenerate", func() *experiments.Table {
+			return experiments.A1VariantVsRegenerate(30, 3)
+		}},
+		{"A2", "Ablation: co-allocation vs optimistic", func() *experiments.Table {
+			return experiments.A2CoAllocation(20, 6)
+		}},
+		{"A3", "Ablation: snapshot vs direct queries", func() *experiments.Table {
+			return experiments.A3SnapshotVsDirect(30, 5)
+		}},
+		{"A4", "Ablation: push vs pull", func() *experiments.Table {
+			return experiments.A4PushVsPull(50)
+		}},
+	}
+}
+
+func main() {
+	var (
+		run  = flag.String("run", "", "comma-separated experiment IDs (default: all)")
+		list = flag.Bool("list", false, "list experiment IDs and exit")
+	)
+	flag.Parse()
+
+	cat := catalogue()
+	if *list {
+		for _, e := range cat {
+			fmt.Printf("%-4s %s\n", e.id, e.title)
+		}
+		return
+	}
+	want := map[string]bool{}
+	if *run != "" {
+		for _, id := range strings.Split(*run, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+	}
+	ran := 0
+	for _, e := range cat {
+		if len(want) > 0 && !want[e.id] {
+			continue
+		}
+		e.run().Fprint(os.Stdout)
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "no experiments matched %q; try -list\n", *run)
+		os.Exit(1)
+	}
+}

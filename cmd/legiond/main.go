@@ -1,0 +1,106 @@
+// Command legiond runs one Legion metasystem node: a set of Host and
+// Vault objects plus the RMI service objects (Collection, Enactor,
+// Monitor) and a bootstrap directory, served over TCP.
+//
+// Multiple legiond processes plus legion-run clients form a
+// multi-process metasystem — the "multi-process emulation" of the
+// paper's multi-host testbed. Typical use:
+//
+//	legiond -addr 127.0.0.1:7777 -domain uva -hosts 4 -batch 2
+//	legion-run -addr 127.0.0.1:7777 -domain uva -count 6 -scheduler irs
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"time"
+
+	"legion/internal/batchq"
+	"legion/internal/core"
+	"legion/internal/host"
+	"legion/internal/loid"
+	"legion/internal/proto"
+	"legion/internal/vault"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7777", "TCP address to serve on")
+		domain   = flag.String("domain", "uva", "administrative domain name")
+		nHosts   = flag.Int("hosts", 4, "number of interactive Unix hosts")
+		nBatch   = flag.Int("batch", 0, "number of batch-queue hosts")
+		cpus     = flag.Int("cpus", 4, "CPUs per host")
+		memMB    = flag.Int("mem", 1024, "memory per host (MB)")
+		arch     = flag.String("arch", "x86", "host architecture attribute")
+		osName   = flag.String("os", "Linux", "host OS attribute")
+		reassess = flag.Duration("reassess", 2*time.Second, "host state reassessment interval")
+		seed     = flag.Int64("seed", 1, "scheduling RNG seed")
+	)
+	flag.Parse()
+
+	ms := core.New(*domain, core.Options{Seed: *seed})
+	defer ms.Close()
+
+	v := ms.AddVault(vault.Config{Zone: *domain})
+	for i := 0; i < *nHosts; i++ {
+		h := ms.AddHost(host.Config{
+			Arch: *arch, OS: *osName, OSVersion: "2.2",
+			CPUs: *cpus, MemoryMB: *memMB, Zone: *domain,
+			Vaults: []loid.LOID{v.LOID()},
+		})
+		stop := h.StartReassessing(*reassess)
+		defer stop()
+	}
+	for i := 0; i < *nBatch; i++ {
+		q := batchq.New(batchq.Config{
+			Name: fmt.Sprintf("queue-%d", i), Slots: *cpus,
+			DispatchDelay: 50 * time.Millisecond,
+		})
+		defer q.Close()
+		h := ms.AddHost(host.Config{
+			Arch: *arch, OS: *osName, OSVersion: "2.2",
+			CPUs: *cpus, MemoryMB: *memMB, Zone: *domain,
+			Vaults: []loid.LOID{v.LOID()},
+			Queue:  q,
+		})
+		stop := h.StartReassessing(*reassess)
+		defer stop()
+	}
+
+	// A default user class so clients can place objects immediately.
+	ms.DefineClass("Worker", []proto.Implementation{{Arch: *arch, OS: *osName}})
+
+	bound, err := ms.ListenAndServe(*addr)
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	log.Printf("legiond: domain %q serving on %s", *domain, bound)
+	log.Printf("legiond: %d unix + %d batch hosts, %d vault(s), class %q defined",
+		*nHosts, *nBatch, 1, "Worker")
+	log.Printf("legiond: collection=%v enactor=%v", ms.Collection.LOID(), ms.Enactor.LOID())
+
+	// Periodic status line.
+	go func() {
+		t := time.NewTicker(10 * time.Second)
+		defer t.Stop()
+		for range t.C {
+			total := 0
+			for _, h := range ms.Hosts() {
+				total += h.RunningCount()
+			}
+			q, u := ms.Collection.Stats()
+			log.Printf("legiond: %d objects running, collection %d queries / %d updates",
+				total, q, u)
+		}
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	log.Println("legiond: shutting down")
+	_ = context.Background()
+}

@@ -1,0 +1,103 @@
+// Migration: the full §3.5 monitoring loop plus §2.1 migration.
+//
+// A worker object with accumulated state runs on a host whose background
+// load spikes. The Monitor has registered an RGE outcall for the
+// "$host_load > 0.8" trigger; when the host's periodic reassessment fires
+// it, the handler shuts the object down (OPR to its Vault), moves the
+// passive state, and reactivates the object — same LOID, same state — on
+// the least-loaded host.
+//
+// Run with: go run ./examples/migration
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"legion/internal/core"
+	"legion/internal/host"
+	"legion/internal/loid"
+	"legion/internal/proto"
+	"legion/internal/vault"
+)
+
+func main() {
+	ctx := context.Background()
+	ms := core.New("uva", core.Options{Seed: 3})
+	defer ms.Close()
+
+	v := ms.AddVault(vault.Config{Zone: "campus"})
+	var hosts []*host.Host
+	for i := 0; i < 3; i++ {
+		hosts = append(hosts, ms.AddHost(host.Config{
+			Arch: "x86", OS: "Linux", OSVersion: "2.2",
+			CPUs: 4, MemoryMB: 1024, Zone: "campus",
+			Vaults: []loid.LOID{v.LOID()},
+		}))
+	}
+
+	// Start a worker and give it state worth preserving.
+	workers := ms.DefineClass("Worker", nil)
+	insts, placement, err := workers.CreateInstance(ctx, 1, nil, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	worker := insts[0]
+	for i := 0; i < 5; i++ {
+		if _, err := ms.Runtime().Call(ctx, worker, "ping", nil); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if _, err := ms.Runtime().Call(ctx, worker, "set", []string{"checkpoint", "iteration-500"}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("worker %s running on %s with checkpoint state\n", worker.Short(), placement.Host.Short())
+
+	// Register overload triggers on every host (Monitor -> RGE).
+	if err := ms.WatchLoad(ctx, 0.8); err != nil {
+		log.Fatal(err)
+	}
+	done := make(chan loid.LOID, 1)
+	ms.Monitor.OnEvent(func(ev proto.NotifyArgs) {
+		fmt.Printf("trigger %q fired on %s — rescheduling\n", ev.Trigger, ev.Source.Short())
+		dest, destVault, err := ms.LeastLoadedHost(ev.Source)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := ms.Migrate(ctx, workers, worker, dest.LOID(), destVault); err != nil {
+			log.Fatalf("migration: %v", err)
+		}
+		done <- dest.LOID()
+	})
+
+	// Background load on the worker's host spikes; the periodic
+	// reassessment notices.
+	fmt.Printf("load spike on %s\n", placement.Host.Short())
+	for _, h := range hosts {
+		if h.LOID() == placement.Host {
+			h.SetExternalLoad(0.95)
+		}
+	}
+	ms.ReassessAll(ctx)
+
+	select {
+	case dest := <-done:
+		fmt.Printf("worker migrated to %s\n", dest.Short())
+	case <-time.After(5 * time.Second):
+		log.Fatal("no migration happened")
+	}
+
+	// Same LOID, same state, new host.
+	val, err := ms.Runtime().Call(ctx, worker, "get", "checkpoint")
+	if err != nil {
+		log.Fatal(err)
+	}
+	hostNow, vaultNow, _ := workers.WhereIs(worker)
+	fmt.Printf("worker %s now on %s (vault %s), checkpoint=%v — state survived the move\n",
+		worker.Short(), hostNow.Short(), vaultNow.Short(), val)
+	for _, h := range hosts {
+		fmt.Printf("  %s: load %.2f, %d objects\n", h.LOID().Short(), h.Load(), h.RunningCount())
+	}
+}

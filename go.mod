@@ -1,0 +1,3 @@
+module legion
+
+go 1.22

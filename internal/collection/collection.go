@@ -1,0 +1,308 @@
+// Package collection implements the Legion Collection (paper §3.2).
+//
+// "The Collection acts as a repository for information describing the
+// state of the resources comprising the system. Each record is stored as
+// a set of Legion object attributes. Collections provide methods to join
+// (with an optional installment of initial descriptive information) and
+// update records, thus facilitating a push model for data. ... Users, or
+// their agents, obtain information about resources by issuing queries to
+// a Collection."
+//
+// The Figure 4 interface — JoinCollection, LeaveCollection,
+// QueryCollection, UpdateCollectionEntry — is exposed both as a Go API
+// and as orb methods. Queries are expressions in the package query
+// language. The §3.2 security note ("The security facilities of Legion
+// authenticate the caller to be sure that it is allowed to update the
+// data") is modelled with a pluggable authorizer over per-caller
+// credentials.
+//
+// Function injection — "the ability for users to install code to
+// dynamically compute new description information and integrate it with
+// the already existing description information for a resource", which the
+// paper plans for Network Weather Service predictions — is implemented:
+// functions registered with InjectFunc become callable from queries, and
+// they receive the record under evaluation (see internal/nws).
+package collection
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"legion/internal/attr"
+	"legion/internal/loid"
+	"legion/internal/orb"
+	"legion/internal/proto"
+	"legion/internal/query"
+)
+
+// Op identifies a Collection mutation for authorization decisions.
+type Op int
+
+// Collection mutation operations.
+const (
+	OpJoin Op = iota
+	OpLeave
+	OpUpdate
+)
+
+// String names the op.
+func (o Op) String() string {
+	switch o {
+	case OpJoin:
+		return "join"
+	case OpLeave:
+		return "leave"
+	default:
+		return "update"
+	}
+}
+
+// Authorizer decides whether a caller may mutate a member's record.
+type Authorizer func(op Op, member loid.LOID, credential string) error
+
+// Errors returned by Collection operations.
+var (
+	// ErrUnauthorized reports an authorization failure.
+	ErrUnauthorized = errors.New("collection: unauthorized")
+	// ErrNotMember reports an operation on an unknown member.
+	ErrNotMember = errors.New("collection: not a member")
+)
+
+// record is one member's stored description.
+type record struct {
+	attrs     map[string]attr.Value
+	updatedAt time.Time
+}
+
+// Collection is a Legion Collection object. Safe for concurrent use.
+type Collection struct {
+	*orb.ServiceObject
+
+	mu      sync.RWMutex
+	records map[loid.LOID]*record
+	funcs   map[string]query.Func
+	auth    Authorizer
+	now     func() time.Time
+
+	queries atomic.Int64
+	updates atomic.Int64
+}
+
+// New creates a Collection, registers its orb methods and itself with rt.
+// auth may be nil, allowing all mutations.
+func New(rt *orb.Runtime, auth Authorizer) *Collection {
+	c := &Collection{
+		ServiceObject: orb.NewServiceObject(rt.Mint("Collection")),
+		records:       make(map[loid.LOID]*record),
+		funcs:         make(map[string]query.Func),
+		auth:          auth,
+		now:           time.Now,
+	}
+	c.installMethods()
+	rt.Register(c)
+	return c
+}
+
+// SetClock overrides the record-freshness clock.
+func (c *Collection) SetClock(now func() time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = now
+}
+
+// InjectFunc installs a user function callable from queries (§3.2
+// function injection). Injected functions shadow built-ins.
+func (c *Collection) InjectFunc(name string, f query.Func) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.funcs[name] = f
+}
+
+func (c *Collection) authorize(op Op, member loid.LOID, credential string) error {
+	if c.auth == nil {
+		return nil
+	}
+	if err := c.auth(op, member, credential); err != nil {
+		return fmt.Errorf("%w: %v", ErrUnauthorized, err)
+	}
+	return nil
+}
+
+// Join registers a member, optionally with initial descriptive
+// information.
+func (c *Collection) Join(member loid.LOID, attrs []attr.Pair, credential string) error {
+	if member.IsNil() {
+		return errors.New("collection: nil member LOID")
+	}
+	if err := c.authorize(OpJoin, member, credential); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, ok := c.records[member]
+	if !ok {
+		r = &record{attrs: make(map[string]attr.Value)}
+		c.records[member] = r
+	}
+	for _, p := range attrs {
+		r.attrs[p.Name] = p.Value
+	}
+	r.updatedAt = c.now()
+	return nil
+}
+
+// Leave removes a member's record.
+func (c *Collection) Leave(member loid.LOID, credential string) error {
+	if err := c.authorize(OpLeave, member, credential); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.records[member]; !ok {
+		return fmt.Errorf("%w: %v", ErrNotMember, member)
+	}
+	delete(c.records, member)
+	return nil
+}
+
+// Update merges new descriptive information into a member's record — the
+// push-model data path.
+func (c *Collection) Update(member loid.LOID, attrs []attr.Pair, credential string) error {
+	if err := c.authorize(OpUpdate, member, credential); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, ok := c.records[member]
+	if !ok {
+		return fmt.Errorf("%w: %v", ErrNotMember, member)
+	}
+	for _, p := range attrs {
+		r.attrs[p.Name] = p.Value
+	}
+	r.updatedAt = c.now()
+	c.updates.Add(1)
+	return nil
+}
+
+// Record is one query result: a member and its description snapshot.
+type Record struct {
+	Member    loid.LOID
+	Attrs     []attr.Pair
+	UpdatedAt time.Time
+}
+
+// Query evaluates a query-language expression against every record and
+// returns the matches sorted by member LOID (deterministic order).
+// Records with attributes missing from the query simply do not match;
+// genuine type errors fail the whole query.
+func (c *Collection) Query(src string) ([]Record, error) {
+	e, err := query.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	c.queries.Add(1)
+	var out []Record
+	for member, r := range c.records {
+		env := &query.Env{Rec: query.MapRecord(r.attrs), Funcs: c.funcs}
+		ok, err := query.EvalEnv(e, env)
+		if err != nil {
+			return nil, fmt.Errorf("collection: evaluating against %v: %w", member, err)
+		}
+		if !ok {
+			continue
+		}
+		pairs := make([]attr.Pair, 0, len(r.attrs))
+		for k, v := range r.attrs {
+			pairs = append(pairs, attr.Pair{Name: k, Value: v})
+		}
+		sort.Slice(pairs, func(i, j int) bool { return pairs[i].Name < pairs[j].Name })
+		out = append(out, Record{Member: member, Attrs: pairs, UpdatedAt: r.updatedAt})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Member.Less(out[j].Member) })
+	return out, nil
+}
+
+// Size returns the number of member records.
+func (c *Collection) Size() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.records)
+}
+
+// Stats returns lifetime query and update counts (schedulers use query
+// counts; the IRS experiment reproduces the paper's "fewer lookups in the
+// Collection" claim with them).
+func (c *Collection) Stats() (queries, updates int64) {
+	return c.queries.Load(), c.updates.Load()
+}
+
+// Prune drops records not updated since the deadline, bounding staleness
+// under the push model when a Host dies silently.
+func (c *Collection) Prune(olderThan time.Time) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for member, r := range c.records {
+		if r.updatedAt.Before(olderThan) {
+			delete(c.records, member)
+			n++
+		}
+	}
+	return n
+}
+
+func (c *Collection) installMethods() {
+	c.Handle(proto.MethodJoinCollection, func(_ context.Context, arg any) (any, error) {
+		a, ok := arg.(proto.JoinArgs)
+		if !ok {
+			return nil, fmt.Errorf("collection: want JoinArgs, got %T", arg)
+		}
+		if err := c.Join(a.Joiner, a.Attrs, a.Credential); err != nil {
+			return nil, err
+		}
+		return proto.Ack{}, nil
+	})
+	c.Handle(proto.MethodLeaveCollection, func(_ context.Context, arg any) (any, error) {
+		a, ok := arg.(proto.LeaveArgs)
+		if !ok {
+			return nil, fmt.Errorf("collection: want LeaveArgs, got %T", arg)
+		}
+		if err := c.Leave(a.Leaver, a.Credential); err != nil {
+			return nil, err
+		}
+		return proto.Ack{}, nil
+	})
+	c.Handle(proto.MethodUpdateCollectionEntry, func(_ context.Context, arg any) (any, error) {
+		a, ok := arg.(proto.UpdateArgs)
+		if !ok {
+			return nil, fmt.Errorf("collection: want UpdateArgs, got %T", arg)
+		}
+		if err := c.Update(a.Member, a.Attrs, a.Credential); err != nil {
+			return nil, err
+		}
+		return proto.Ack{}, nil
+	})
+	c.Handle(proto.MethodQueryCollection, func(_ context.Context, arg any) (any, error) {
+		a, ok := arg.(proto.QueryArgs)
+		if !ok {
+			return nil, fmt.Errorf("collection: want QueryArgs, got %T", arg)
+		}
+		recs, err := c.Query(a.Query)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]proto.CollectionRecord, len(recs))
+		for i, r := range recs {
+			out[i] = proto.CollectionRecord{Member: r.Member, Attrs: r.Attrs}
+		}
+		return proto.QueryReply{Records: out}, nil
+	})
+}

@@ -1,0 +1,178 @@
+// Package daemon implements the Data Collection Daemon.
+//
+// The paper (§3.1, footnote 4): "We are implementing an intermediate
+// agent, the Data Collection Daemon, which pulls data from Hosts and
+// pushes it into Collections." The daemon periodically invokes
+// get_attributes on a set of resources and UpdateCollectionEntry (or
+// JoinCollection for resources not yet members) on a set of Collections —
+// the pull half of the Collection population model, complementing the
+// Hosts' own push path.
+package daemon
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"legion/internal/loid"
+	"legion/internal/orb"
+	"legion/internal/proto"
+)
+
+// Config parameterizes a Daemon.
+type Config struct {
+	// Interval between pull sweeps.
+	Interval time.Duration
+	// Credential presented with Collection updates.
+	Credential string
+	// CallTimeout bounds each per-resource call; zero means 10 seconds.
+	CallTimeout time.Duration
+}
+
+// Daemon pulls attribute snapshots from resources and pushes them into
+// Collections.
+type Daemon struct {
+	rt  *orb.Runtime
+	cfg Config
+
+	mu          sync.Mutex
+	resources   []loid.LOID
+	collections []loid.LOID
+	joined      map[loid.LOID]bool
+	stop        chan struct{}
+	stopped     bool
+	sweeps      int64
+	errors      int64
+}
+
+// New creates a Daemon using rt for communication.
+func New(rt *orb.Runtime, cfg Config) *Daemon {
+	if cfg.Interval <= 0 {
+		cfg.Interval = time.Second
+	}
+	if cfg.CallTimeout <= 0 {
+		cfg.CallTimeout = 10 * time.Second
+	}
+	return &Daemon{
+		rt:     rt,
+		cfg:    cfg,
+		joined: make(map[loid.LOID]bool),
+		stop:   make(chan struct{}),
+	}
+}
+
+// Watch adds resources to pull from.
+func (d *Daemon) Watch(resources ...loid.LOID) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.resources = append(d.resources, resources...)
+}
+
+// PushInto adds Collections to push into.
+func (d *Daemon) PushInto(collections ...loid.LOID) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.collections = append(d.collections, collections...)
+}
+
+// Sweep performs one pull-and-push pass synchronously and reports how
+// many (resource, collection) deposits succeeded.
+func (d *Daemon) Sweep(ctx context.Context) int {
+	d.mu.Lock()
+	resources := append([]loid.LOID(nil), d.resources...)
+	collections := append([]loid.LOID(nil), d.collections...)
+	d.sweeps++
+	d.mu.Unlock()
+
+	ok := 0
+	for _, res := range resources {
+		cctx, cancel := context.WithTimeout(ctx, d.cfg.CallTimeout)
+		reply, err := d.rt.Call(cctx, res, proto.MethodGetAttributes, nil)
+		cancel()
+		if err != nil {
+			d.mu.Lock()
+			d.errors++
+			d.mu.Unlock()
+			continue // a dead resource must not stall the sweep
+		}
+		attrs, isAttrs := reply.(proto.AttributesReply)
+		if !isAttrs {
+			d.mu.Lock()
+			d.errors++
+			d.mu.Unlock()
+			continue
+		}
+		for _, coll := range collections {
+			if d.deposit(ctx, coll, res, attrs) {
+				ok++
+			}
+		}
+	}
+	return ok
+}
+
+// deposit pushes one snapshot, joining the member first if needed.
+func (d *Daemon) deposit(ctx context.Context, coll, res loid.LOID, attrs proto.AttributesReply) bool {
+	cctx, cancel := context.WithTimeout(ctx, d.cfg.CallTimeout)
+	defer cancel()
+	key := loid.LOID{Domain: coll.Domain, Class: coll.Class + "/" + res.String(), Instance: coll.Instance}
+	d.mu.Lock()
+	alreadyJoined := d.joined[key]
+	d.mu.Unlock()
+	if !alreadyJoined {
+		_, err := d.rt.Call(cctx, coll, proto.MethodJoinCollection,
+			proto.JoinArgs{Joiner: res, Attrs: attrs.Attrs, Credential: d.cfg.Credential})
+		if err == nil {
+			d.mu.Lock()
+			d.joined[key] = true
+			d.mu.Unlock()
+			return true
+		}
+		d.mu.Lock()
+		d.errors++
+		d.mu.Unlock()
+		return false
+	}
+	_, err := d.rt.Call(cctx, coll, proto.MethodUpdateCollectionEntry,
+		proto.UpdateArgs{Member: res, Attrs: attrs.Attrs, Credential: d.cfg.Credential})
+	if err != nil {
+		d.mu.Lock()
+		d.errors++
+		d.mu.Unlock()
+		return false
+	}
+	return true
+}
+
+// Start begins periodic sweeps; Stop ends them.
+func (d *Daemon) Start() {
+	go func() {
+		t := time.NewTicker(d.cfg.Interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				d.Sweep(context.Background())
+			case <-d.stop:
+				return
+			}
+		}
+	}()
+}
+
+// Stop halts periodic sweeps. Idempotent.
+func (d *Daemon) Stop() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !d.stopped {
+		d.stopped = true
+		close(d.stop)
+	}
+}
+
+// Stats reports sweep and error counts.
+func (d *Daemon) Stats() (sweeps, errors int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.sweeps, d.errors
+}

@@ -1,0 +1,125 @@
+package daemon
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"legion/internal/attr"
+	"legion/internal/collection"
+	"legion/internal/host"
+	"legion/internal/loid"
+	"legion/internal/orb"
+	"legion/internal/vault"
+)
+
+func setup(t *testing.T) (*orb.Runtime, *collection.Collection, *host.Host, *Daemon) {
+	t.Helper()
+	rt := orb.NewRuntime("uva")
+	v := vault.New(rt, vault.Config{Zone: "z1"})
+	h := host.New(rt, host.Config{
+		Arch: "x86", OS: "Linux", CPUs: 2, MemoryMB: 256, Zone: "z1",
+		Vaults: []loid.LOID{v.LOID()},
+	})
+	c := collection.New(rt, nil)
+	d := New(rt, Config{Interval: 5 * time.Millisecond, Credential: "cred"})
+	d.Watch(h.LOID())
+	d.PushInto(c.LOID())
+	return rt, c, h, d
+}
+
+func TestSweepJoinsThenUpdates(t *testing.T) {
+	_, c, h, d := setup(t)
+	ctx := context.Background()
+
+	if ok := d.Sweep(ctx); ok != 1 {
+		t.Fatalf("first sweep deposits = %d", ok)
+	}
+	if c.Size() != 1 {
+		t.Fatalf("collection size = %d", c.Size())
+	}
+	recs, _ := c.Query(`$host_os_name == "Linux"`)
+	if len(recs) != 1 || recs[0].Member != h.LOID() {
+		t.Fatalf("pulled record: %+v", recs)
+	}
+
+	// Host state changes; second sweep updates the existing record.
+	h.SetExternalLoad(0.8)
+	h.Reassess(ctx)
+	if ok := d.Sweep(ctx); ok != 1 {
+		t.Fatalf("second sweep deposits = %d", ok)
+	}
+	recs, _ = c.Query(`$host_load > 0.5`)
+	if len(recs) != 1 {
+		t.Fatalf("updated record not visible: %+v", recs)
+	}
+	sweeps, errs := d.Stats()
+	if sweeps != 2 || errs != 0 {
+		t.Errorf("stats = %d sweeps %d errors", sweeps, errs)
+	}
+}
+
+func TestSweepToleratesDeadResource(t *testing.T) {
+	rt, c, h, d := setup(t)
+	ghost := loid.LOID{Domain: "uva", Class: "Host", Instance: 999}
+	d.Watch(ghost)
+	if ok := d.Sweep(context.Background()); ok != 1 {
+		t.Fatalf("sweep deposits = %d (live host should still land)", ok)
+	}
+	_, errs := d.Stats()
+	if errs != 1 {
+		t.Errorf("errors = %d, want 1 (the ghost)", errs)
+	}
+	_ = rt
+	_ = c
+	_ = h
+}
+
+func TestSweepToleratesDeadCollection(t *testing.T) {
+	rt, _, h, _ := setup(t)
+	d2 := New(rt, Config{Interval: time.Second, CallTimeout: 50 * time.Millisecond})
+	d2.Watch(h.LOID())
+	d2.PushInto(loid.LOID{Domain: "uva", Class: "Collection", Instance: 999})
+	if ok := d2.Sweep(context.Background()); ok != 0 {
+		t.Fatalf("sweep deposits = %d", ok)
+	}
+	_, errs := d2.Stats()
+	if errs != 1 {
+		t.Errorf("errors = %d", errs)
+	}
+}
+
+func TestPeriodicStartStop(t *testing.T) {
+	_, c, _, d := setup(t)
+	d.Start()
+	defer d.Stop()
+	deadline := time.Now().Add(2 * time.Second)
+	for c.Size() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("periodic sweep never deposited")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	d.Stop()
+	d.Stop() // idempotent
+}
+
+func TestMultipleCollections(t *testing.T) {
+	rt, c1, h, d := setup(t)
+	c2 := collection.New(rt, nil)
+	d.PushInto(c2.LOID())
+	if ok := d.Sweep(context.Background()); ok != 2 {
+		t.Fatalf("deposits = %d, want 2", ok)
+	}
+	if c1.Size() != 1 || c2.Size() != 1 {
+		t.Errorf("sizes = %d, %d", c1.Size(), c2.Size())
+	}
+	recs, _ := c2.Query("defined($host_arch)")
+	if len(recs) != 1 {
+		t.Errorf("c2 record: %+v", recs)
+	}
+	m := attr.FromPairs(recs[0].Attrs)
+	if m["host_loid"].Str() != h.LOID().String() {
+		t.Errorf("host_loid attr = %v", m["host_loid"])
+	}
+}

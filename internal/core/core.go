@@ -1,0 +1,377 @@
+// Package core assembles the Legion resource management infrastructure
+// into a usable metasystem: the public API of this reproduction.
+//
+// A Metasystem owns one administrative domain's object runtime and the
+// core object hierarchy of Figure 1 — LegionClass at the root, HostClass
+// and VaultClass managing the resource objects — plus the RMI service
+// objects of Figure 3: a Collection, an Enactor, and a Monitor. User
+// classes are defined with DefineClass and placed with
+// PlaceApplication, which drives any scheduler.Generator through the
+// Figure 9 retry protocol.
+//
+// Migration (paper §2.1: "any active object can be migrated by shutting
+// it down, moving the passive state to a new Vault if necessary, and
+// activating the object on another host") is provided by Migrate, and the
+// §3.5 monitoring loop by WatchLoad + OnOverload.
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"legion/internal/classobj"
+	"legion/internal/collection"
+	"legion/internal/enactor"
+	"legion/internal/host"
+	"legion/internal/loid"
+	"legion/internal/monitor"
+	"legion/internal/opr"
+	"legion/internal/orb"
+	"legion/internal/proto"
+	"legion/internal/reservation"
+	"legion/internal/scheduler"
+	"legion/internal/vault"
+)
+
+// Options tunes Metasystem construction.
+type Options struct {
+	// Seed drives all randomized scheduling; fixed default 1 for
+	// reproducibility.
+	Seed int64
+	// CollectionAuth authorizes Collection mutations; nil allows all.
+	CollectionAuth collection.Authorizer
+	// Credential is presented by hosts pushing state to the Collection.
+	Credential string
+}
+
+// Metasystem is one administrative domain's assembled Legion RMI.
+type Metasystem struct {
+	rt   *orb.Runtime
+	opts Options
+
+	// Core object hierarchy (Figure 1).
+	LegionClass *classobj.Class
+	HostClass   *classobj.Class
+	VaultClass  *classobj.Class
+
+	// RMI service objects (Figure 3).
+	Collection *collection.Collection
+	Enactor    *enactor.Enactor
+	Monitor    *monitor.Monitor
+
+	mu      sync.Mutex
+	hosts   []*host.Host
+	vaults  []*vault.Vault
+	classes map[string]*classobj.Class
+	rng     *rand.Rand
+}
+
+// New builds a Metasystem for the given administrative domain.
+func New(domain string, opts Options) *Metasystem {
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	rt := orb.NewRuntime(domain)
+	ms := &Metasystem{
+		rt:      rt,
+		opts:    opts,
+		classes: make(map[string]*classobj.Class),
+		rng:     rand.New(rand.NewSource(opts.Seed)),
+	}
+	ms.LegionClass = classobj.New(rt, classobj.Config{Name: "Legion"})
+	ms.HostClass = classobj.New(rt, classobj.Config{Name: "Host", Meta: ms.LegionClass.LOID()})
+	ms.VaultClass = classobj.New(rt, classobj.Config{Name: "Vault", Meta: ms.LegionClass.LOID()})
+	ms.Collection = collection.New(rt, opts.CollectionAuth)
+	ms.Enactor = enactor.New(rt, enactor.Config{})
+	ms.Monitor = monitor.New(rt)
+	return ms
+}
+
+// Runtime exposes the underlying object runtime.
+func (ms *Metasystem) Runtime() *orb.Runtime { return ms.rt }
+
+// Domain returns the metasystem's administrative domain.
+func (ms *Metasystem) Domain() string { return ms.rt.Domain() }
+
+// Close shuts down network listeners and client connections.
+func (ms *Metasystem) Close() error { return ms.rt.Close() }
+
+// AddVault creates a Vault, adopts it into VaultClass, and returns it.
+func (ms *Metasystem) AddVault(cfg vault.Config) *vault.Vault {
+	v := vault.New(ms.rt, cfg)
+	ms.VaultClass.AdoptInstance(v.LOID(), loid.Nil, loid.Nil)
+	ms.mu.Lock()
+	ms.vaults = append(ms.vaults, v)
+	ms.mu.Unlock()
+	return v
+}
+
+// AddHost creates a Host, adopts it into HostClass, joins it to the
+// Collection with its current attributes, and wires its push updates.
+func (ms *Metasystem) AddHost(cfg host.Config) *host.Host {
+	h := host.New(ms.rt, cfg)
+	ms.HostClass.AdoptInstance(h.LOID(), loid.Nil, loid.Nil)
+	h.PushTo(ms.Collection.LOID(), ms.opts.Credential)
+	// Step 1 of Figure 3: populate the Collection.
+	_ = ms.Collection.Join(h.LOID(), h.Attributes(), ms.opts.Credential)
+	ms.mu.Lock()
+	ms.hosts = append(ms.hosts, h)
+	ms.mu.Unlock()
+	return h
+}
+
+// Hosts returns the metasystem's hosts.
+func (ms *Metasystem) Hosts() []*host.Host {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	return append([]*host.Host(nil), ms.hosts...)
+}
+
+// Vaults returns the metasystem's vaults.
+func (ms *Metasystem) Vaults() []*vault.Vault {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	return append([]*vault.Vault(nil), ms.vaults...)
+}
+
+// ReassessAll has every host recompute and push its state — one tick of
+// the periodic reassessment the paper describes.
+func (ms *Metasystem) ReassessAll(ctx context.Context) {
+	for _, h := range ms.Hosts() {
+		h.Reassess(ctx)
+	}
+}
+
+// DefineClass creates a user object class managed by LegionClass, with a
+// quick placer that makes the paper's "quick and almost certainly
+// non-optimal" decision: the first matching host in the Collection.
+func (ms *Metasystem) DefineClass(name string, impls []proto.Implementation) *classobj.Class {
+	c := classobj.New(ms.rt, classobj.Config{
+		Name:  name,
+		Meta:  ms.LegionClass.LOID(),
+		Impls: impls,
+	})
+	c.SetPlacer(ms.quickPlacer())
+	ms.mu.Lock()
+	ms.classes[name] = c
+	ms.mu.Unlock()
+	return c
+}
+
+// Class returns a previously defined class by name.
+func (ms *Metasystem) Class(name string) (*classobj.Class, bool) {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	c, ok := ms.classes[name]
+	return c, ok
+}
+
+// quickPlacer builds the default per-class placement: first matching
+// host, first compatible vault, instantaneous reusable timesharing
+// reservation.
+func (ms *Metasystem) quickPlacer() classobj.QuickPlacer {
+	return func(ctx context.Context, c *classobj.Class, count int) (proto.Placement, error) {
+		hosts, err := scheduler.QueryHosts(ctx, ms.Env(), "defined($host_arch)")
+		if err != nil {
+			return proto.Placement{}, err
+		}
+		for _, h := range hosts {
+			if len(h.Vaults) == 0 {
+				continue
+			}
+			res, err := ms.rt.Call(ctx, h.LOID, proto.MethodMakeReservation, proto.MakeReservationArgs{
+				Requester: c.LOID(),
+				Vault:     h.Vaults[0],
+				Type:      reservation.ReusableTimesharing,
+				Duration:  time.Hour,
+			})
+			if err != nil {
+				continue // autonomy: the host said no; try the next
+			}
+			return proto.Placement{
+				Host:  h.LOID,
+				Vault: h.Vaults[0],
+				Token: res.(proto.MakeReservationReply).Token,
+			}, nil
+		}
+		return proto.Placement{}, errors.New("core: no host granted a reservation")
+	}
+}
+
+// Env returns a scheduler environment over this metasystem.
+func (ms *Metasystem) Env() *scheduler.Env {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	return &scheduler.Env{
+		RT:         ms.rt,
+		Collection: ms.Collection.LOID(),
+		Rand:       rand.New(rand.NewSource(ms.rng.Int63())),
+	}
+}
+
+// PlaceApplication runs the full Figure 3 pipeline: the generator
+// queries the Collection and computes schedules, the Wrapper negotiates
+// them through the Enactor, and on success the named class instances are
+// running on their reserved hosts.
+func (ms *Metasystem) PlaceApplication(ctx context.Context, gen scheduler.Generator, req scheduler.Request) (scheduler.Outcome, error) {
+	return ms.PlaceApplicationLimits(ctx, gen, req, scheduler.Wrapper{})
+}
+
+// PlaceApplicationLimits is PlaceApplication with explicit retry limits.
+func (ms *Metasystem) PlaceApplicationLimits(ctx context.Context, gen scheduler.Generator, req scheduler.Request, w scheduler.Wrapper) (scheduler.Outcome, error) {
+	return w.Run(ctx, ms.Env(), ms.Enactor.LOID(), gen, req)
+}
+
+// Migrate moves a running instance to another (host, vault): shutdown on
+// the current host (OPR to its vault), move the OPR to the new vault if
+// different, reactivate on the destination under a fresh reservation, and
+// update the class's records.
+func (ms *Metasystem) Migrate(ctx context.Context, class *classobj.Class, instance, toHost, toVault loid.LOID) error {
+	fromHost, fromVault, err := class.WhereIs(instance)
+	if err != nil {
+		return err
+	}
+	if fromHost == toHost && fromVault == toVault {
+		return nil // already there
+	}
+
+	// Reserve the destination before disturbing the running object, so a
+	// refusal leaves the system untouched.
+	res, err := ms.rt.Call(ctx, toHost, proto.MethodMakeReservation, proto.MakeReservationArgs{
+		Requester: ms.Monitor.LOID(),
+		Vault:     toVault,
+		Type:      reservation.OneShotTimesharing,
+		Duration:  time.Hour,
+	})
+	if err != nil {
+		return fmt.Errorf("core: migrate %v: destination reservation: %w", instance, err)
+	}
+	tok := res.(proto.MakeReservationReply).Token
+
+	// Shut down: the host stores the OPR in the instance's current vault
+	// and returns it.
+	dres, err := ms.rt.Call(ctx, fromHost, proto.MethodDeactivateObject, proto.ObjectArgs{Object: instance})
+	if err != nil {
+		// Roll the reservation back; the object is still running.
+		_, _ = ms.rt.Call(ctx, toHost, proto.MethodCancelReservation, proto.TokenArgs{Token: tok})
+		return fmt.Errorf("core: migrate %v: deactivate on %v: %w", instance, fromHost, err)
+	}
+	state := dres.(proto.DeactivateReply).OPR
+
+	// Move the passive state to the new vault if necessary.
+	if toVault != fromVault {
+		if _, err := ms.rt.Call(ctx, toVault, proto.MethodStoreOPR, proto.StoreOPRArgs{OPR: state}); err != nil {
+			return ms.reactivateInPlace(ctx, class, instance, fromHost, fromVault, state,
+				fmt.Errorf("core: migrate %v: store OPR in %v: %w", instance, toVault, err))
+		}
+		_, _ = ms.rt.Call(ctx, fromVault, proto.MethodDeleteOPR, proto.DeleteOPRArgs{Object: instance})
+	}
+
+	// Reactivate on the destination.
+	if _, err := ms.rt.Call(ctx, toHost, proto.MethodStartObject, proto.StartObjectArgs{
+		Token:     tok,
+		Class:     class.LOID(),
+		Instances: []loid.LOID{instance},
+		State:     state,
+	}); err != nil {
+		return ms.reactivateInPlace(ctx, class, instance, fromHost, fromVault, state,
+			fmt.Errorf("core: migrate %v: reactivate on %v: %w", instance, toHost, err))
+	}
+	class.ForgetInstance(instance)
+	class.AdoptInstance(instance, toHost, toVault)
+	return nil
+}
+
+// reactivateInPlace is the migration failure path: put the object back
+// where it was so a failed migration degrades to a no-op.
+func (ms *Metasystem) reactivateInPlace(ctx context.Context, class *classobj.Class, instance, fromHost, fromVault loid.LOID, state *opr.OPR, cause error) error {
+	res, err := ms.rt.Call(ctx, fromHost, proto.MethodMakeReservation, proto.MakeReservationArgs{
+		Requester: ms.Monitor.LOID(),
+		Vault:     fromVault,
+		Type:      reservation.OneShotTimesharing,
+		Duration:  time.Hour,
+	})
+	if err != nil {
+		return fmt.Errorf("%w (and recovery reservation failed: %v)", cause, err)
+	}
+	if _, err := ms.rt.Call(ctx, fromHost, proto.MethodStartObject, proto.StartObjectArgs{
+		Token:     res.(proto.MakeReservationReply).Token,
+		Class:     class.LOID(),
+		Instances: []loid.LOID{instance},
+		State:     state,
+	}); err != nil {
+		return fmt.Errorf("%w (and recovery reactivation failed: %v)", cause, err)
+	}
+	return cause
+}
+
+// WatchLoad installs an overload trigger on every current host and
+// registers the Monitor for its outcalls.
+func (ms *Metasystem) WatchLoad(ctx context.Context, threshold float64) error {
+	guard := fmt.Sprintf("$host_load > %g", threshold)
+	for _, h := range ms.Hosts() {
+		if err := ms.Monitor.Watch(ctx, h.LOID(), "overload", guard); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ServeDirectory registers the bootstrap directory object at the
+// domain's well-known LOID, letting remote runtimes (cmd/legion-run)
+// discover this node's service objects after binding only the domain's
+// TCP address.
+func (ms *Metasystem) ServeDirectory() {
+	dir := orb.NewServiceObject(proto.DirectoryLOID(ms.Domain()))
+	dir.Handle(proto.MethodLookupServices, func(_ context.Context, _ any) (any, error) {
+		ms.mu.Lock()
+		defer ms.mu.Unlock()
+		reply := proto.ServicesReply{
+			Collection: ms.Collection.LOID(),
+			Enactor:    ms.Enactor.LOID(),
+			Monitor:    ms.Monitor.LOID(),
+			Classes:    make(map[string]loid.LOID, len(ms.classes)),
+		}
+		for name, c := range ms.classes {
+			reply.Classes[name] = c.LOID()
+		}
+		for _, h := range ms.hosts {
+			reply.Hosts = append(reply.Hosts, h.LOID())
+		}
+		for _, v := range ms.vaults {
+			reply.Vaults = append(reply.Vaults, v.LOID())
+		}
+		return reply, nil
+	})
+	ms.rt.Register(dir)
+}
+
+// ListenAndServe starts serving this metasystem's objects over TCP and
+// registers the bootstrap directory. It returns the bound address.
+func (ms *Metasystem) ListenAndServe(addr string) (string, error) {
+	ms.ServeDirectory()
+	return ms.rt.ListenAndServe(addr)
+}
+
+// LeastLoadedHost returns the host with the lowest current load and its
+// first vault, excluding the given host — the default migration target
+// chooser.
+func (ms *Metasystem) LeastLoadedHost(exclude loid.LOID) (*host.Host, loid.LOID, error) {
+	var best *host.Host
+	for _, h := range ms.Hosts() {
+		if h.LOID() == exclude || len(h.CompatibleVaults()) == 0 {
+			continue
+		}
+		if best == nil || h.Load() < best.Load() {
+			best = h
+		}
+	}
+	if best == nil {
+		return nil, loid.Nil, errors.New("core: no alternative host")
+	}
+	return best, best.CompatibleVaults()[0], nil
+}

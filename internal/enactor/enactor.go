@@ -1,0 +1,407 @@
+// Package enactor implements the Legion Enactor (paper §3.4, Figure 6).
+//
+// "A Scheduler first passes in the entire set of schedules to the
+// make_reservations() call, and waits for feedback. ... If any schedule
+// succeeded, the Scheduler can then use the enact_schedule() call to
+// request that the Enactor instantiate objects on the reserved resources,
+// or the cancel_reservations() method to release the resources."
+//
+// The Enactor negotiates with the Hosts and Vaults named in a schedule —
+// possibly across administrative domains (co-allocation) — walking master
+// schedules in order and patching individual failed mappings with variant
+// schedules selected through the per-variant bitmaps. Reservations that a
+// variant leaves unchanged are kept, avoiding "reservation thrashing (the
+// canceling and subsequent remaking of the same reservation)".
+//
+// Reservation-making is all-or-nothing per master: if no master can be
+// fully reserved, everything obtained along the way is cancelled and the
+// feedback classifies the failure (resources / malformed / other).
+package enactor
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"legion/internal/loid"
+	"legion/internal/orb"
+	"legion/internal/proto"
+	"legion/internal/reservation"
+	"legion/internal/sched"
+)
+
+// Errors returned by Enactor operations.
+var (
+	// ErrUnknownRequest reports an enact/cancel for a request ID with no
+	// held reservations.
+	ErrUnknownRequest = errors.New("enactor: unknown request")
+	// ErrNotReserved reports an enact for a request whose reservations
+	// were never successfully made.
+	ErrNotReserved = errors.New("enactor: request has no successful reservation set")
+)
+
+// Config parameterizes an Enactor.
+type Config struct {
+	// DefaultDuration applies when a request's ReservationSpec has zero
+	// duration; defaults to one hour.
+	DefaultDuration time.Duration
+	// CallTimeout bounds each per-resource negotiation call; defaults to
+	// 30 seconds.
+	CallTimeout time.Duration
+}
+
+// heldRequest is the Enactor's retained state for one scheduling episode.
+type heldRequest struct {
+	resolved []sched.Mapping
+	tokens   []reservation.Token
+	enacted  [][]loid.LOID
+	done     bool
+}
+
+// Enactor implements the schedule-implementation role. Safe for
+// concurrent use; distinct requests negotiate independently.
+type Enactor struct {
+	*orb.ServiceObject
+	rt  *orb.Runtime
+	cfg Config
+
+	mu       sync.Mutex
+	requests map[uint64]*heldRequest
+	nextID   uint64
+
+	statsMu sync.Mutex
+	total   sched.EnactmentStats
+}
+
+// New creates an Enactor, registers its methods and itself with rt.
+func New(rt *orb.Runtime, cfg Config) *Enactor {
+	if cfg.DefaultDuration <= 0 {
+		cfg.DefaultDuration = time.Hour
+	}
+	if cfg.CallTimeout <= 0 {
+		cfg.CallTimeout = 30 * time.Second
+	}
+	e := &Enactor{
+		ServiceObject: orb.NewServiceObject(rt.Mint("Enactor")),
+		rt:            rt,
+		cfg:           cfg,
+		requests:      make(map[uint64]*heldRequest),
+	}
+	e.installMethods()
+	rt.Register(e)
+	return e
+}
+
+// NewRequestID mints a fresh request ID for a scheduling episode.
+func (e *Enactor) NewRequestID() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.nextID++
+	return e.nextID
+}
+
+// TotalStats returns accumulated negotiation statistics across all
+// episodes (the thrash-avoidance experiments read these).
+func (e *Enactor) TotalStats() sched.EnactmentStats {
+	e.statsMu.Lock()
+	defer e.statsMu.Unlock()
+	return e.total
+}
+
+func (e *Enactor) accumulate(s sched.EnactmentStats) {
+	e.statsMu.Lock()
+	defer e.statsMu.Unlock()
+	e.total.ReservationsRequested += s.ReservationsRequested
+	e.total.ReservationsGranted += s.ReservationsGranted
+	e.total.ReservationsCancelled += s.ReservationsCancelled
+	e.total.VariantsTried += s.VariantsTried
+	e.total.MastersTried += s.MastersTried
+}
+
+// MakeReservations attempts to reserve resources for the request and
+// returns LegionScheduleFeedback. On success the Enactor retains the
+// reservations for a later EnactSchedule or CancelReservations keyed by
+// request.ID.
+func (e *Enactor) MakeReservations(ctx context.Context, request sched.RequestList) sched.Feedback {
+	fb := sched.Feedback{Request: request, MasterIndex: -1}
+	if err := request.Validate(); err != nil {
+		fb.Reason = sched.FailureMalformed
+		fb.Detail = err.Error()
+		return fb
+	}
+	spec := request.Res
+	if spec.Duration <= 0 {
+		spec.Duration = e.cfg.DefaultDuration
+	}
+
+	for mi := range request.Masters {
+		fb.Stats.MastersTried++
+		resolved, tokens, applied, ok := e.tryMaster(ctx, &request.Masters[mi], spec, &fb.Stats)
+		if ok {
+			fb.Success = true
+			fb.MasterIndex = mi
+			fb.Resolved = resolved
+			fb.VariantsApplied = applied
+			e.mu.Lock()
+			e.requests[request.ID] = &heldRequest{resolved: resolved, tokens: tokens}
+			e.mu.Unlock()
+			e.accumulate(fb.Stats)
+			return fb
+		}
+	}
+	fb.Reason = sched.FailureResources
+	fb.Detail = fmt.Sprintf("no master schedule of %d fully reservable", len(request.Masters))
+	e.accumulate(fb.Stats)
+	return fb
+}
+
+// tryMaster negotiates one master schedule with variant patching. It
+// returns the resolved mappings and tokens on success; on failure it has
+// already cancelled everything it obtained.
+func (e *Enactor) tryMaster(ctx context.Context, m *sched.Master, spec sched.ReservationSpec, stats *sched.EnactmentStats) ([]sched.Mapping, []reservation.Token, []int, bool) {
+	current := append([]sched.Mapping(nil), m.Mappings...)
+	tokens := make([]reservation.Token, len(current))
+	held := make([]bool, len(current))
+	var applied []int
+
+	cancelAll := func() {
+		for i := range held {
+			if held[i] {
+				e.cancelToken(ctx, current[i].Host, tokens[i], stats)
+				held[i] = false
+			}
+		}
+	}
+
+	variantCursor := 0
+	for {
+		// Reserve every mapping not already held.
+		failed := sched.NewBitmap(len(current))
+		for i := range current {
+			if held[i] {
+				continue
+			}
+			tok, err := e.reserve(ctx, current[i], spec, stats)
+			if err != nil {
+				failed.Set(i)
+				continue
+			}
+			tokens[i] = *tok
+			held[i] = true
+		}
+		if !failed.Any() {
+			// Base mappings are fully reserved; satisfy the k-of-n
+			// equivalence-class groups (§3.3): any K of each group's
+			// alternatives, in preference order.
+			for gi := range m.KofN {
+				g := &m.KofN[gi]
+				got := 0
+				for _, alt := range g.Alternatives {
+					if got == g.K {
+						break
+					}
+					gm := sched.Mapping{Class: g.Class, Host: alt.Host, Vault: alt.Vault}
+					tok, err := e.reserve(ctx, gm, spec, stats)
+					if err != nil {
+						continue
+					}
+					current = append(current, gm)
+					tokens = append(tokens, *tok)
+					held = append(held, true)
+					got++
+				}
+				if got < g.K {
+					cancelAll()
+					return nil, nil, nil, false
+				}
+			}
+			return current, tokens, applied, true
+		}
+
+		// Select the next variant whose bitmap covers a failed entry.
+		vi := m.NextVariant(variantCursor, failed)
+		if vi < 0 {
+			cancelAll()
+			return nil, nil, nil, false
+		}
+		variantCursor = vi + 1
+		stats.VariantsTried++
+		applied = append(applied, vi)
+
+		// Apply the variant — but only to entries that actually failed.
+		// Entries whose reservations are already held keep them even if
+		// the variant offers an alternative: this is how "our default
+		// Schedulers and Enactor work together to structure the variant
+		// schedules so as to avoid reservation thrashing (the canceling
+		// and subsequent remaking of the same reservation)".
+		for _, r := range m.Variants[vi].Replacements {
+			i := r.Index
+			if i < 0 || i >= len(current) || held[i] {
+				continue
+			}
+			current[i] = r.Mapping
+		}
+	}
+}
+
+// reserve asks one Host for one reservation.
+func (e *Enactor) reserve(ctx context.Context, m sched.Mapping, spec sched.ReservationSpec, stats *sched.EnactmentStats) (*reservation.Token, error) {
+	stats.ReservationsRequested++
+	cctx, cancel := context.WithTimeout(ctx, e.cfg.CallTimeout)
+	defer cancel()
+	res, err := e.rt.Call(cctx, m.Host, proto.MethodMakeReservation, proto.MakeReservationArgs{
+		Requester: e.LOID(),
+		Vault:     m.Vault,
+		Type:      reservation.Type{Share: spec.Share, Reuse: spec.Reuse},
+		Start:     spec.Start,
+		Duration:  spec.Duration,
+		Timeout:   spec.Timeout,
+	})
+	if err != nil {
+		return nil, err
+	}
+	reply, ok := res.(proto.MakeReservationReply)
+	if !ok {
+		return nil, fmt.Errorf("enactor: unexpected reply %T", res)
+	}
+	stats.ReservationsGranted++
+	return &reply.Token, nil
+}
+
+// cancelToken releases one reservation, tolerating failures (the host may
+// be gone; its confirmation timeout will reap the reservation).
+func (e *Enactor) cancelToken(ctx context.Context, hostL loid.LOID, tok reservation.Token, stats *sched.EnactmentStats) {
+	stats.ReservationsCancelled++
+	cctx, cancel := context.WithTimeout(ctx, e.cfg.CallTimeout)
+	defer cancel()
+	_, _ = e.rt.Call(cctx, hostL, proto.MethodCancelReservation, proto.TokenArgs{Token: tok})
+}
+
+// EnactSchedule instantiates the objects of a successfully reserved
+// request by invoking create_instance on the class objects named in the
+// resolved mappings, passing the directed placement (§3.4 steps 7-9). On
+// any failure it rolls back: created instances are destroyed and
+// remaining reservations cancelled.
+func (e *Enactor) EnactSchedule(ctx context.Context, requestID uint64) proto.EnactReply {
+	e.mu.Lock()
+	req, ok := e.requests[requestID]
+	e.mu.Unlock()
+	if !ok {
+		return proto.EnactReply{Success: false, Detail: ErrUnknownRequest.Error()}
+	}
+	if req.done {
+		return proto.EnactReply{Success: false, Detail: "enactor: request already enacted"}
+	}
+
+	created := make([][]loid.LOID, len(req.resolved))
+	for i, m := range req.resolved {
+		cctx, cancel := context.WithTimeout(ctx, e.cfg.CallTimeout)
+		res, err := e.rt.Call(cctx, m.Class, proto.MethodCreateInstance, proto.CreateInstanceArgs{
+			Count: 1,
+			Placement: &proto.Placement{
+				Host:  m.Host,
+				Vault: m.Vault,
+				Token: req.tokens[i],
+			},
+		})
+		cancel()
+		if err != nil {
+			e.rollback(ctx, req, created, i)
+			return proto.EnactReply{Success: false,
+				Detail: fmt.Sprintf("create_instance for mapping %d (%v): %v", i, m, err)}
+		}
+		reply, isReply := res.(proto.CreateInstanceReply)
+		if !isReply || len(reply.Instances) == 0 {
+			e.rollback(ctx, req, created, i)
+			return proto.EnactReply{Success: false,
+				Detail: fmt.Sprintf("create_instance for mapping %d returned %T", i, res)}
+		}
+		created[i] = reply.Instances
+	}
+	e.mu.Lock()
+	req.enacted = created
+	req.done = true
+	e.mu.Unlock()
+	return proto.EnactReply{Success: true, Instances: created}
+}
+
+// rollback destroys the instances created so far and cancels the
+// remaining (unredeemed or reusable) reservations.
+func (e *Enactor) rollback(ctx context.Context, req *heldRequest, created [][]loid.LOID, upto int) {
+	var stats sched.EnactmentStats
+	for i := 0; i < upto; i++ {
+		for _, inst := range created[i] {
+			cctx, cancel := context.WithTimeout(ctx, e.cfg.CallTimeout)
+			_, _ = e.rt.Call(cctx, req.resolved[i].Class, proto.MethodDestroyInstance,
+				proto.ObjectArgs{Object: inst})
+			cancel()
+		}
+	}
+	for i := range req.tokens {
+		e.cancelToken(ctx, req.resolved[i].Host, req.tokens[i], &stats)
+	}
+	e.accumulate(stats)
+}
+
+// CancelReservations releases a request's reservations without enacting.
+func (e *Enactor) CancelReservations(ctx context.Context, requestID uint64) error {
+	e.mu.Lock()
+	req, ok := e.requests[requestID]
+	if ok {
+		delete(e.requests, requestID)
+	}
+	e.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownRequest, requestID)
+	}
+	var stats sched.EnactmentStats
+	for i := range req.tokens {
+		e.cancelToken(ctx, req.resolved[i].Host, req.tokens[i], &stats)
+	}
+	e.accumulate(stats)
+	return nil
+}
+
+// Enacted returns the instances created for a request, per resolved
+// mapping, once EnactSchedule has succeeded.
+func (e *Enactor) Enacted(requestID uint64) ([][]loid.LOID, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	req, ok := e.requests[requestID]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownRequest, requestID)
+	}
+	if !req.done {
+		return nil, ErrNotReserved
+	}
+	return req.enacted, nil
+}
+
+func (e *Enactor) installMethods() {
+	e.Handle(proto.MethodMakeReservations, func(ctx context.Context, arg any) (any, error) {
+		a, ok := arg.(proto.MakeReservationsArgs)
+		if !ok {
+			return nil, fmt.Errorf("enactor: want MakeReservationsArgs, got %T", arg)
+		}
+		return proto.FeedbackReply{Feedback: e.MakeReservations(ctx, a.Request)}, nil
+	})
+	e.Handle(proto.MethodEnactSchedule, func(ctx context.Context, arg any) (any, error) {
+		a, ok := arg.(proto.EnactScheduleArgs)
+		if !ok {
+			return nil, fmt.Errorf("enactor: want EnactScheduleArgs, got %T", arg)
+		}
+		return e.EnactSchedule(ctx, a.RequestID), nil
+	})
+	e.Handle(proto.MethodCancelReservations, func(ctx context.Context, arg any) (any, error) {
+		a, ok := arg.(proto.CancelReservationsArgs)
+		if !ok {
+			return nil, fmt.Errorf("enactor: want CancelReservationsArgs, got %T", arg)
+		}
+		if err := e.CancelReservations(ctx, a.RequestID); err != nil {
+			return nil, err
+		}
+		return proto.Ack{}, nil
+	})
+}

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"legion/internal/core"
+	"legion/internal/host"
+	"legion/internal/loid"
+	"legion/internal/netobj"
+	"legion/internal/sched"
+	"legion/internal/scheduler"
+)
+
+// E5NetworkObjects measures the §6 future-work extension: Network
+// Objects managing communications resources, and the comm-aware stencil
+// scheduler that consults them. A three-site metasystem with two fast
+// links and one slow link runs a 12x6 stencil grid under three policies;
+// the latency-weighted edge cut (ms of link latency crossed per
+// iteration's halo exchange) is the objective.
+func E5NetworkObjects() *Table {
+	t := &Table{
+		ID:    "E5",
+		Title: "Network Objects (§6 extension): communication-aware stencil placement",
+		Header: []string{"scheduler", "edge cut (count)", "weighted cut (ms)",
+			"cross-zone fraction"},
+	}
+	const rows, cols = 12, 6
+	ctx := context.Background()
+
+	build := func() (*core.Metasystem, *netobj.Topology, map[loid.LOID]string, loid.LOID) {
+		ms := core.New("uva", core.Options{Seed: 55})
+		zoneOf := map[loid.LOID]string{}
+		cpusByZone := map[string][]int{"za": {16, 2}, "zb": {12, 4}, "zc": {8, 6}}
+		for _, z := range []string{"za", "zb", "zc"} {
+			v := ms.AddVault(vaultCfg(z))
+			for _, cpus := range cpusByZone[z] {
+				h := ms.AddHost(host.Config{
+					Arch: "x86", OS: "Linux", CPUs: cpus, MemoryMB: 1024, Zone: z,
+					MaxShared: 1024, Vaults: []loid.LOID{v.LOID()},
+				})
+				zoneOf[h.LOID()] = z
+			}
+		}
+		topo := netobj.NewTopology(
+			netobj.NewLink(ms.Runtime(), "za", "zb", 5, 1000),
+			netobj.NewLink(ms.Runtime(), "zb", "zc", 5, 1000),
+			netobj.NewLink(ms.Runtime(), "za", "zc", 100, 10),
+		)
+		// Network objects are first-class: discoverable via the Collection.
+		_ = topo.JoinCollection(ctx, ms.Runtime(), ms.Collection.LOID(), "")
+		class := ms.DefineClass("Cell", nil)
+		return ms, topo, zoneOf, class.LOID()
+	}
+
+	gens := func(topo *netobj.Topology) []scheduler.Generator {
+		return []scheduler.Generator{
+			scheduler.Random{},
+			scheduler.Stencil{Rows: rows, Cols: cols},
+			scheduler.CommAware{Rows: rows, Cols: cols, Topo: topo},
+		}
+	}
+
+	msProbe, topoProbe, _, _ := build()
+	n := len(gens(topoProbe))
+	msProbe.Close()
+
+	for gi := 0; gi < n; gi++ {
+		ms, topo, zoneOf, classL := build()
+		gen := gens(topo)[gi]
+		env := ms.Env()
+		rl, err := gen.Generate(ctx, env, scheduler.Request{
+			Classes: []scheduler.ClassRequest{{Class: classL, Count: rows * cols}},
+			Res:     shareSpec(),
+		})
+		if err != nil {
+			t.AddRow(gen.Name(), "failed", err.Error(), "-")
+			ms.Close()
+			continue
+		}
+		maps := rl.Masters[0].Mappings
+		assignment := scheduler.AssignmentOf(maps)
+		cut := scheduler.EdgeCut(assignment, rows, cols)
+		wcut := scheduler.WeightedEdgeCut(assignment, rows, cols,
+			func(l loid.LOID) string { return zoneOf[l] }, topo)
+		cross := crossZone(maps, zoneOf)
+		t.AddRow(gen.Name(), cut, fmt.Sprintf("%.1f", wcut), fmt.Sprintf("%.2f", cross))
+		ms.Close()
+	}
+	t.Notes = append(t.Notes,
+		"topology: za-zb 5ms, zb-zc 5ms, za-zc 100ms; link state lives in Network Objects",
+		"comm-aware chains zones by link latency so no band boundary pays the 100ms link")
+	return t
+}
+
+// crossZone is the fraction of mappings outside the modal zone.
+func crossZone(maps []sched.Mapping, zoneOf map[loid.LOID]string) float64 {
+	if len(maps) == 0 {
+		return 0
+	}
+	counts := map[string]int{}
+	for _, m := range maps {
+		counts[zoneOf[m.Host]]++
+	}
+	best := 0
+	for _, n := range counts {
+		if n > best {
+			best = n
+		}
+	}
+	return 1 - float64(best)/float64(len(maps))
+}

@@ -1,0 +1,128 @@
+package host
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"legion/internal/loid"
+	"legion/internal/opr"
+	"legion/internal/orb"
+)
+
+// GenericObject is the default activated user object: a minimal Legion
+// object that holds mutable state, answers pings, and supports the
+// automatic shutdown/restart protocol (opr.Persistent) that makes every
+// Legion object migratable.
+//
+// Applications with richer behaviour install their own Activator; the
+// examples and experiments mostly need an object whose state provably
+// survives deactivation, migration, and reactivation.
+type GenericObject struct {
+	*orb.ServiceObject
+	class loid.LOID
+
+	mu      sync.Mutex
+	payload map[string]string
+	pings   int64
+	// generation counts reactivations, proving state continuity across
+	// migrations in tests.
+	generation int
+}
+
+// genericState is the GenericObject's OPR payload.
+type genericState struct {
+	Payload    map[string]string
+	Pings      int64
+	Generation int
+}
+
+func init() { orb.RegisterWireType(genericState{}) }
+
+// NewGenericObject creates a GenericObject for the instance, restoring
+// from the OPR when non-nil.
+func NewGenericObject(instance, class loid.LOID, state *opr.OPR) (*GenericObject, error) {
+	g := &GenericObject{
+		ServiceObject: orb.NewServiceObject(instance),
+		class:         class,
+		payload:       make(map[string]string),
+	}
+	if state != nil {
+		if err := g.RestoreState(state); err != nil {
+			return nil, err
+		}
+	}
+	g.Handle("ping", func(_ context.Context, _ any) (any, error) {
+		g.mu.Lock()
+		g.pings++
+		g.mu.Unlock()
+		return "pong", nil
+	})
+	g.Handle("get", func(_ context.Context, arg any) (any, error) {
+		key, ok := arg.(string)
+		if !ok {
+			return nil, fmt.Errorf("object: want string key, got %T", arg)
+		}
+		g.mu.Lock()
+		defer g.mu.Unlock()
+		return g.payload[key], nil
+	})
+	g.Handle("set", func(_ context.Context, arg any) (any, error) {
+		kv, ok := arg.([]string)
+		if !ok || len(kv) != 2 {
+			return nil, fmt.Errorf("object: want [key, value], got %T", arg)
+		}
+		g.mu.Lock()
+		g.payload[kv[0]] = kv[1]
+		g.mu.Unlock()
+		return nil, nil
+	})
+	return g, nil
+}
+
+// Class returns the object's class LOID.
+func (g *GenericObject) Class() loid.LOID { return g.class }
+
+// Pings returns how many pings the object has served (across
+// reactivations, since the count persists in the OPR).
+func (g *GenericObject) Pings() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.pings
+}
+
+// Generation returns how many times this object has been reactivated
+// from an OPR.
+func (g *GenericObject) Generation() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.generation
+}
+
+// SaveState implements opr.Persistent.
+func (g *GenericObject) SaveState() (any, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	p := make(map[string]string, len(g.payload))
+	for k, v := range g.payload {
+		p[k] = v
+	}
+	return genericState{Payload: p, Pings: g.pings, Generation: g.generation}, nil
+}
+
+// RestoreState implements opr.Persistent.
+func (g *GenericObject) RestoreState(state *opr.OPR) error {
+	var s genericState
+	if err := state.Decode(&s); err != nil {
+		return err
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.payload = s.Payload
+	if g.payload == nil {
+		g.payload = make(map[string]string)
+	}
+	g.pings = s.Pings
+	g.generation = s.Generation + 1
+	return nil
+}

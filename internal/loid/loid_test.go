@@ -1,0 +1,164 @@
+package loid
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestStringParseRoundTrip(t *testing.T) {
+	cases := []LOID{
+		{Domain: "uva", Class: "Host", Instance: 1},
+		{Domain: "sdsc", Class: "Vault", Instance: 42},
+		{Domain: "a.b.c", Class: "BasicClass", Instance: 1 << 60},
+	}
+	for _, want := range cases {
+		got, err := Parse(want.String())
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", want.String(), err)
+		}
+		if got != want {
+			t.Errorf("round trip: got %v want %v", got, want)
+		}
+	}
+}
+
+func TestParseNil(t *testing.T) {
+	got, err := Parse("legion:nil")
+	if err != nil || !got.IsNil() {
+		t.Errorf("Parse(legion:nil) = %v, %v; want nil LOID", got, err)
+	}
+	if Nil.String() != "legion:nil" {
+		t.Errorf("Nil.String() = %q", Nil.String())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"host/1",
+		"legion:",
+		"legion:uva/Host",
+		"legion:uva/Host/1/2",
+		"legion:/Host/1",
+		"legion:uva//1",
+		"legion:uva/Host/notanumber",
+		"legion:uva/Host/-1",
+	}
+	for _, s := range bad {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q): want error, got nil", s)
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(dom, class string, inst uint64) bool {
+		// Constrain to the character set LOIDs are minted with.
+		if dom == "" || class == "" || inst == 0 {
+			return true
+		}
+		for _, r := range dom + class {
+			if r == '/' || r == '\n' || r < ' ' {
+				return true
+			}
+		}
+		l := LOID{Domain: dom, Class: class, Instance: inst}
+		got, err := Parse(l.String())
+		return err == nil && got == l
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLessIsStrictTotalOrder(t *testing.T) {
+	ls := []LOID{
+		{Domain: "a", Class: "A", Instance: 1},
+		{Domain: "a", Class: "A", Instance: 2},
+		{Domain: "a", Class: "B", Instance: 1},
+		{Domain: "b", Class: "A", Instance: 1},
+	}
+	for i := range ls {
+		if ls[i].Less(ls[i]) {
+			t.Errorf("%v.Less(self) = true", ls[i])
+		}
+		for j := range ls {
+			if i == j {
+				continue
+			}
+			if ls[i].Less(ls[j]) == ls[j].Less(ls[i]) {
+				t.Errorf("Less not antisymmetric for %v, %v", ls[i], ls[j])
+			}
+		}
+	}
+	for i := 0; i < len(ls)-1; i++ {
+		if !ls[i].Less(ls[i+1]) {
+			t.Errorf("want %v < %v", ls[i], ls[i+1])
+		}
+	}
+}
+
+func TestMinterUnique(t *testing.T) {
+	m := NewMinter("uva")
+	if m.Domain() != "uva" {
+		t.Fatalf("Domain() = %q", m.Domain())
+	}
+	const n = 1000
+	var mu sync.Mutex
+	seen := make(map[LOID]bool, n)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < n/8; i++ {
+				l := m.Mint("Host")
+				mu.Lock()
+				if seen[l] {
+					t.Errorf("duplicate LOID %v", l)
+				}
+				seen[l] = true
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if len(seen) != n {
+		t.Errorf("minted %d unique, want %d", len(seen), n)
+	}
+	for l := range seen {
+		if l.IsNil() || l.Instance == 0 {
+			t.Errorf("minted invalid LOID %v", l)
+		}
+	}
+}
+
+func TestMinterPanics(t *testing.T) {
+	assertPanics(t, func() { NewMinter("") })
+	assertPanics(t, func() { NewMinter("d").Mint("") })
+}
+
+func assertPanics(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic")
+		}
+	}()
+	f()
+}
+
+func TestShortAndMustParse(t *testing.T) {
+	l := LOID{Domain: "uva", Class: "Host", Instance: 7}
+	if l.Short() != "Host/7" {
+		t.Errorf("Short = %q", l.Short())
+	}
+	if Nil.Short() != "nil" {
+		t.Errorf("Nil.Short = %q", Nil.Short())
+	}
+	if MustParse(l.String()) != l {
+		t.Error("MustParse round trip")
+	}
+	assertPanics(t, func() { MustParse("garbage") })
+}

@@ -1,0 +1,117 @@
+// Package monitor implements the execution Monitor of the Legion RMI
+// (paper §3, steps 12-13, and §3.5).
+//
+// "After the objects are running, the execution Monitor may request a
+// recomputation of the schedule, perhaps based on the progress of the
+// computation and the load on the hosts in the system." Mechanically
+// (§3.5): "the Monitor can register an outcall with the Host Objects;
+// this outcall will be performed when a trigger's guard evaluates to
+// true. ... In our actual implementation, we have no separate monitor
+// objects; the Enactor or Scheduler perform the monitoring, with the
+// outcall registered appropriately."
+//
+// This Monitor is an orb object that (a) installs guarded triggers on
+// Hosts and registers itself for their outcalls, and (b) fans incoming
+// events out to registered handlers — typically a Scheduler's reschedule
+// routine or the Metasystem's migration logic (package core). It can be
+// embedded behind an Enactor or Scheduler, preserving the paper's
+// "no separate monitor objects" option.
+package monitor
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"legion/internal/loid"
+	"legion/internal/orb"
+	"legion/internal/proto"
+)
+
+// Handler receives trigger events delivered to the Monitor.
+type Handler func(ev proto.NotifyArgs)
+
+// Monitor receives Host trigger outcalls and dispatches them to handlers.
+// Safe for concurrent use.
+type Monitor struct {
+	*orb.ServiceObject
+	rt *orb.Runtime
+
+	mu       sync.Mutex
+	handlers []Handler
+	events   []proto.NotifyArgs
+	maxKeep  int
+}
+
+// New creates a Monitor, registers its notify method and itself with rt.
+func New(rt *orb.Runtime) *Monitor {
+	m := &Monitor{
+		ServiceObject: orb.NewServiceObject(rt.Mint("Monitor")),
+		rt:            rt,
+		maxKeep:       1024,
+	}
+	m.Handle(proto.MethodNotify, func(_ context.Context, arg any) (any, error) {
+		a, ok := arg.(proto.NotifyArgs)
+		if !ok {
+			return nil, fmt.Errorf("monitor: want NotifyArgs, got %T", arg)
+		}
+		m.deliver(a)
+		return proto.Ack{}, nil
+	})
+	rt.Register(m)
+	return m
+}
+
+// OnEvent registers a handler for every future event. Handlers run
+// synchronously on the delivering goroutine and must not block.
+func (m *Monitor) OnEvent(h Handler) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.handlers = append(m.handlers, h)
+}
+
+func (m *Monitor) deliver(ev proto.NotifyArgs) {
+	m.mu.Lock()
+	m.events = append(m.events, ev)
+	if len(m.events) > m.maxKeep {
+		m.events = append([]proto.NotifyArgs(nil), m.events[len(m.events)-m.maxKeep:]...)
+	}
+	hs := append([]Handler(nil), m.handlers...)
+	m.mu.Unlock()
+	for _, h := range hs {
+		h(ev)
+	}
+}
+
+// Events returns a copy of the retained event history (newest last).
+func (m *Monitor) Events() []proto.NotifyArgs {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]proto.NotifyArgs(nil), m.events...)
+}
+
+// EventCount returns how many events have been retained.
+func (m *Monitor) EventCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.events)
+}
+
+// Watch installs a guarded trigger on a Host and registers this Monitor
+// for its outcalls — the §3.5 registration sequence. The guard is a
+// query-language expression over the Host's attributes, e.g.
+// "$host_load > 0.8".
+func (m *Monitor) Watch(ctx context.Context, hostL loid.LOID, trigger, guard string) error {
+	cctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	defer cancel()
+	if _, err := m.rt.Call(cctx, hostL, proto.MethodDefineTrigger,
+		proto.DefineTriggerArgs{Name: trigger, Guard: guard}); err != nil {
+		return fmt.Errorf("monitor: define trigger on %v: %w", hostL, err)
+	}
+	if _, err := m.rt.Call(cctx, hostL, proto.MethodRegisterOutcall,
+		proto.RegisterOutcallArgs{Trigger: trigger, Monitor: m.LOID()}); err != nil {
+		return fmt.Errorf("monitor: register outcall on %v: %w", hostL, err)
+	}
+	return nil
+}

@@ -1,0 +1,122 @@
+package monitor
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"legion/internal/attr"
+	"legion/internal/host"
+	"legion/internal/loid"
+	"legion/internal/orb"
+	"legion/internal/proto"
+	"legion/internal/vault"
+)
+
+func newHostEnv(t *testing.T) (*orb.Runtime, *host.Host) {
+	t.Helper()
+	rt := orb.NewRuntime("uva")
+	v := vault.New(rt, vault.Config{Zone: "z1"})
+	h := host.New(rt, host.Config{
+		Arch: "x86", OS: "Linux", CPUs: 2, MemoryMB: 256, Zone: "z1",
+		Vaults: []loid.LOID{v.LOID()},
+	})
+	return rt, h
+}
+
+func TestWatchAndDeliver(t *testing.T) {
+	rt, h := newHostEnv(t)
+	m := New(rt)
+	ctx := context.Background()
+
+	var mu sync.Mutex
+	var got []proto.NotifyArgs
+	m.OnEvent(func(ev proto.NotifyArgs) {
+		mu.Lock()
+		got = append(got, ev)
+		mu.Unlock()
+	})
+
+	if err := m.Watch(ctx, h.LOID(), "overload", "$host_load > 0.8"); err != nil {
+		t.Fatal(err)
+	}
+	h.SetExternalLoad(0.3)
+	h.Reassess(ctx)
+	mu.Lock()
+	if len(got) != 0 {
+		t.Fatalf("fired below threshold: %v", got)
+	}
+	mu.Unlock()
+
+	h.SetExternalLoad(0.95)
+	h.Reassess(ctx)
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 1 {
+		t.Fatalf("events: %d", len(got))
+	}
+	ev := got[0]
+	if ev.Source != h.LOID() || ev.Trigger != "overload" {
+		t.Errorf("event: %+v", ev)
+	}
+	am := attr.FromPairs(ev.Attrs)
+	if am["host_load"].FloatVal() <= 0.8 {
+		t.Errorf("event snapshot load: %v", am["host_load"])
+	}
+	if m.EventCount() != 1 || len(m.Events()) != 1 {
+		t.Errorf("history: %d", m.EventCount())
+	}
+}
+
+func TestWatchBadGuard(t *testing.T) {
+	rt, h := newHostEnv(t)
+	m := New(rt)
+	if err := m.Watch(context.Background(), h.LOID(), "bad", "((("); err == nil {
+		t.Error("bad guard accepted")
+	}
+}
+
+func TestWatchDeadHost(t *testing.T) {
+	rt, _ := newHostEnv(t)
+	m := New(rt)
+	ghost := loid.LOID{Domain: "uva", Class: "Host", Instance: 99}
+	if err := m.Watch(context.Background(), ghost, "t", "true"); err == nil {
+		t.Error("watch on dead host succeeded")
+	}
+}
+
+func TestMultipleHandlersAndHistoryBound(t *testing.T) {
+	rt, _ := newHostEnv(t)
+	m := New(rt)
+	m.maxKeep = 8
+	n1, n2 := 0, 0
+	m.OnEvent(func(proto.NotifyArgs) { n1++ })
+	m.OnEvent(func(proto.NotifyArgs) { n2++ })
+	ctx := context.Background()
+	for i := 0; i < 20; i++ {
+		if _, err := rt.Call(ctx, m.LOID(), proto.MethodNotify, proto.NotifyArgs{
+			Source: loid.LOID{Domain: "uva", Class: "Host", Instance: uint64(i + 1)},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n1 != 20 || n2 != 20 {
+		t.Errorf("handlers ran %d/%d times", n1, n2)
+	}
+	if m.EventCount() != 8 {
+		t.Errorf("history = %d, want bounded at 8", m.EventCount())
+	}
+	// Newest retained.
+	evs := m.Events()
+	if evs[len(evs)-1].Source.Instance != 20 {
+		t.Errorf("last event: %+v", evs[len(evs)-1])
+	}
+}
+
+func TestNotifyBadArg(t *testing.T) {
+	rt, _ := newHostEnv(t)
+	m := New(rt)
+	if _, err := rt.Call(context.Background(), m.LOID(), proto.MethodNotify, 42); err == nil {
+		t.Error("bad arg accepted")
+	}
+}

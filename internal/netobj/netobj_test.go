@@ -1,0 +1,105 @@
+package netobj
+
+import (
+	"context"
+	"testing"
+
+	"legion/internal/attr"
+	"legion/internal/collection"
+	"legion/internal/orb"
+	"legion/internal/proto"
+)
+
+func TestLinkBasics(t *testing.T) {
+	rt := orb.NewRuntime("uva")
+	l := NewLink(rt, "zb", "za", 40, 100) // endpoints canonicalized
+	a, b := l.Zones()
+	if a != "za" || b != "zb" {
+		t.Errorf("zones: %s %s", a, b)
+	}
+	if l.Latency() != 40 || l.Bandwidth() != 100 {
+		t.Errorf("initial: %v %v", l.Latency(), l.Bandwidth())
+	}
+	l.Observe(55, 80)
+	if l.Latency() != 55 || l.Bandwidth() != 80 {
+		t.Errorf("after observe: %v %v", l.Latency(), l.Bandwidth())
+	}
+	m := attr.FromPairs(l.Attributes())
+	if m["net_latency_ms"].FloatVal() != 55 || m["net_zone_a"].Str() != "za" {
+		t.Errorf("attrs: %v", l.Attributes())
+	}
+	// Reachable as a Legion object.
+	res, err := rt.Call(context.Background(), l.LOID(), proto.MethodGetAttributes, nil)
+	if err != nil || len(res.(proto.AttributesReply).Attrs) == 0 {
+		t.Errorf("get_attributes: %v %v", res, err)
+	}
+}
+
+func TestLinkSameZonePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic")
+		}
+	}()
+	NewLink(orb.NewRuntime("uva"), "z", "z", 1, 1)
+}
+
+func TestTopologyLatency(t *testing.T) {
+	rt := orb.NewRuntime("uva")
+	topo := NewTopology(
+		NewLink(rt, "za", "zb", 10, 1000),
+		NewLink(rt, "zb", "zc", 50, 100),
+	)
+	if l := topo.LatencyMS("za", "za"); l != 0.1 {
+		t.Errorf("intra-zone: %v", l)
+	}
+	if l := topo.LatencyMS("za", "zb"); l != 10 {
+		t.Errorf("za-zb: %v", l)
+	}
+	if l := topo.LatencyMS("zb", "za"); l != 10 {
+		t.Errorf("symmetric: %v", l)
+	}
+	if l := topo.LatencyMS("za", "zc"); l != 200 {
+		t.Errorf("missing pair default: %v", l)
+	}
+	if _, ok := topo.Link("zc", "zb"); !ok {
+		t.Error("Link lookup with swapped order failed")
+	}
+	if len(topo.Links()) != 2 {
+		t.Errorf("links: %d", len(topo.Links()))
+	}
+}
+
+func TestTopologyDynamicUpdates(t *testing.T) {
+	rt := orb.NewRuntime("uva")
+	link := NewLink(rt, "za", "zb", 10, 1000)
+	topo := NewTopology(link)
+	link.Observe(90, 10) // WAN degraded
+	if l := topo.LatencyMS("za", "zb"); l != 90 {
+		t.Errorf("after observe: %v", l)
+	}
+}
+
+func TestJoinCollection(t *testing.T) {
+	rt := orb.NewRuntime("uva")
+	coll := collection.New(rt, nil)
+	topo := NewTopology(
+		NewLink(rt, "za", "zb", 10, 1000),
+		NewLink(rt, "zb", "zc", 50, 100),
+	)
+	if err := topo.JoinCollection(context.Background(), rt, coll.LOID(), ""); err != nil {
+		t.Fatal(err)
+	}
+	// Communication resources are queryable like any other resource.
+	recs, err := coll.Query(`defined($net_latency_ms) and $net_latency_ms < 20`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("fast links: %+v", recs)
+	}
+	m := attr.FromPairs(recs[0].Attrs)
+	if m["net_zone_a"].Str() != "za" || m["net_zone_b"].Str() != "zb" {
+		t.Errorf("record: %v", recs[0].Attrs)
+	}
+}

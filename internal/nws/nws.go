@@ -1,0 +1,271 @@
+// Package nws provides Network Weather Service-style resource
+// forecasting.
+//
+// The paper (§3.2) motivates Collection function injection with exactly
+// this use: "This capability is especially important to users of the
+// Network Weather Service, which predicts future resource availability
+// based on statistical analysis of past behavior." (Wolski, HPDC-6.)
+//
+// Following the NWS design, several simple predictors run side by side —
+// last value, running mean, sliding-window mean/median, exponential
+// smoothing — and an adaptive meta-predictor tracks each one's past
+// mean-squared error, answering with the forecast of whichever predictor
+// has been most accurate so far.
+//
+// The bridge to the RMI is InjectForecast: it registers a
+// "forecast_load" query function on a Collection, computing a prediction
+// from the record's $host_load_history attribute, so schedulers can write
+// queries like "forecast_load() < 0.5" — dynamically computed description
+// information, per the paper.
+package nws
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"legion/internal/attr"
+	"legion/internal/collection"
+	"legion/internal/query"
+)
+
+// Predictor forecasts the next value of a series from its history.
+type Predictor interface {
+	// Name identifies the predictor in reports.
+	Name() string
+	// Predict returns the forecast for the next observation. The history
+	// is ordered oldest first and is non-empty.
+	Predict(history []float64) float64
+}
+
+// LastValue predicts the most recent observation.
+type LastValue struct{}
+
+// Name implements Predictor.
+func (LastValue) Name() string { return "last" }
+
+// Predict implements Predictor.
+func (LastValue) Predict(h []float64) float64 { return h[len(h)-1] }
+
+// RunningMean predicts the mean of the full history.
+type RunningMean struct{}
+
+// Name implements Predictor.
+func (RunningMean) Name() string { return "mean" }
+
+// Predict implements Predictor.
+func (RunningMean) Predict(h []float64) float64 {
+	s := 0.0
+	for _, v := range h {
+		s += v
+	}
+	return s / float64(len(h))
+}
+
+// WindowMean predicts the mean of the last K observations.
+type WindowMean struct {
+	// K is the window size; values < 1 behave as 1.
+	K int
+}
+
+// Name implements Predictor.
+func (w WindowMean) Name() string { return fmt.Sprintf("win-mean-%d", w.K) }
+
+// Predict implements Predictor.
+func (w WindowMean) Predict(h []float64) float64 {
+	k := w.K
+	if k < 1 {
+		k = 1
+	}
+	if k > len(h) {
+		k = len(h)
+	}
+	s := 0.0
+	for _, v := range h[len(h)-k:] {
+		s += v
+	}
+	return s / float64(k)
+}
+
+// WindowMedian predicts the median of the last K observations — NWS's
+// robust choice under spiky load.
+type WindowMedian struct {
+	// K is the window size; values < 1 behave as 1.
+	K int
+}
+
+// Name implements Predictor.
+func (w WindowMedian) Name() string { return fmt.Sprintf("win-median-%d", w.K) }
+
+// Predict implements Predictor.
+func (w WindowMedian) Predict(h []float64) float64 {
+	k := w.K
+	if k < 1 {
+		k = 1
+	}
+	if k > len(h) {
+		k = len(h)
+	}
+	win := append([]float64(nil), h[len(h)-k:]...)
+	sort.Float64s(win)
+	mid := len(win) / 2
+	if len(win)%2 == 1 {
+		return win[mid]
+	}
+	return (win[mid-1] + win[mid]) / 2
+}
+
+// ExpSmoothing predicts with exponential smoothing:
+// s(t) = alpha*x(t) + (1-alpha)*s(t-1).
+type ExpSmoothing struct {
+	// Alpha in (0,1]; values outside are clamped.
+	Alpha float64
+}
+
+// Name implements Predictor.
+func (e ExpSmoothing) Name() string { return fmt.Sprintf("exp-%.2f", e.Alpha) }
+
+// Predict implements Predictor.
+func (e ExpSmoothing) Predict(h []float64) float64 {
+	alpha := e.Alpha
+	if alpha <= 0 || alpha > 1 {
+		alpha = 0.5
+	}
+	s := h[0]
+	for _, v := range h[1:] {
+		s = alpha*v + (1-alpha)*s
+	}
+	return s
+}
+
+// Adaptive is the NWS meta-predictor: it scores a bank of predictors by
+// their historical mean-squared error on the series seen so far and
+// forecasts with the current best. It is stateful; feed observations in
+// order with Observe and ask for Forecast.
+type Adaptive struct {
+	mu      sync.Mutex
+	bank    []Predictor
+	history []float64
+	sqErr   []float64
+	n       []int
+	maxHist int
+}
+
+// NewAdaptive builds an Adaptive over the given bank (a default bank is
+// used when empty).
+func NewAdaptive(bank ...Predictor) *Adaptive {
+	if len(bank) == 0 {
+		bank = []Predictor{
+			LastValue{}, RunningMean{}, WindowMean{K: 5},
+			WindowMedian{K: 5}, ExpSmoothing{Alpha: 0.5},
+		}
+	}
+	return &Adaptive{
+		bank:    bank,
+		sqErr:   make([]float64, len(bank)),
+		n:       make([]int, len(bank)),
+		maxHist: 512,
+	}
+}
+
+// Observe appends an observation, first scoring every predictor's
+// standing forecast against it.
+func (a *Adaptive) Observe(v float64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if len(a.history) > 0 {
+		for i, p := range a.bank {
+			e := p.Predict(a.history) - v
+			a.sqErr[i] += e * e
+			a.n[i]++
+		}
+	}
+	a.history = append(a.history, v)
+	if len(a.history) > a.maxHist {
+		a.history = append([]float64(nil), a.history[len(a.history)-a.maxHist:]...)
+	}
+}
+
+// Forecast returns the best predictor's forecast and that predictor's
+// name. It errors when no observations exist.
+func (a *Adaptive) Forecast() (float64, string, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if len(a.history) == 0 {
+		return 0, "", errors.New("nws: no observations")
+	}
+	best, bestMSE := 0, math.Inf(1)
+	for i := range a.bank {
+		if a.n[i] == 0 {
+			continue
+		}
+		mse := a.sqErr[i] / float64(a.n[i])
+		if mse < bestMSE {
+			best, bestMSE = i, mse
+		}
+	}
+	return a.bank[best].Predict(a.history), a.bank[best].Name(), nil
+}
+
+// History returns a copy of the observed series.
+func (a *Adaptive) History() []float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]float64(nil), a.history...)
+}
+
+// HistoryAttr converts a series to the attribute value stored as
+// $host_load_history.
+func HistoryAttr(h []float64) attr.Value {
+	vals := make([]attr.Value, len(h))
+	for i, v := range h {
+		vals[i] = attr.Float(v)
+	}
+	return attr.List(vals...)
+}
+
+// historyFromAttr parses $host_load_history back into a series.
+func historyFromAttr(v attr.Value) ([]float64, error) {
+	if v.Kind() != attr.KindList || v.Len() == 0 {
+		return nil, errors.New("nws: host_load_history missing or empty")
+	}
+	out := make([]float64, v.Len())
+	for i := 0; i < v.Len(); i++ {
+		f, ok := v.At(i).AsFloat()
+		if !ok {
+			return nil, fmt.Errorf("nws: history element %d is %s", i, v.At(i).Kind())
+		}
+		out[i] = f
+	}
+	return out, nil
+}
+
+// InjectForecast registers the "forecast_load" function on a Collection:
+// it predicts the next load of the record under evaluation from its
+// $host_load_history attribute using the given predictor (the adaptive
+// default when nil). An optional string argument selects a different
+// history attribute.
+func InjectForecast(c *collection.Collection, p Predictor) {
+	if p == nil {
+		p = WindowMean{K: 5}
+	}
+	c.InjectFunc("forecast_load", func(rec query.Record, args []attr.Value) (attr.Value, error) {
+		attrName := "host_load_history"
+		if len(args) == 1 && args[0].Kind() == attr.KindString {
+			attrName = args[0].Str()
+		} else if len(args) > 1 {
+			return attr.Value{}, errors.New("forecast_load wants at most one attribute-name argument")
+		}
+		v, ok := rec.Lookup(attrName)
+		if !ok {
+			return attr.Value{}, fmt.Errorf("record has no $%s", attrName)
+		}
+		h, err := historyFromAttr(v)
+		if err != nil {
+			return attr.Value{}, err
+		}
+		return attr.Float(p.Predict(h)), nil
+	})
+}

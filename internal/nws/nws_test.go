@@ -1,0 +1,233 @@
+package nws
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"legion/internal/attr"
+	"legion/internal/collection"
+	"legion/internal/loid"
+	"legion/internal/orb"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestBasicPredictors(t *testing.T) {
+	h := []float64{1, 2, 3, 4, 5}
+	cases := []struct {
+		p    Predictor
+		want float64
+	}{
+		{LastValue{}, 5},
+		{RunningMean{}, 3},
+		{WindowMean{K: 2}, 4.5},
+		{WindowMean{K: 100}, 3},   // clamps to len
+		{WindowMean{K: 0}, 5},     // clamps to 1
+		{WindowMedian{K: 3}, 4},   // median of 3,4,5
+		{WindowMedian{K: 4}, 3.5}, // median of 2,3,4,5
+		{WindowMedian{K: 0}, 5},
+	}
+	for _, c := range cases {
+		if got := c.p.Predict(h); !almost(got, c.want) {
+			t.Errorf("%s.Predict = %v, want %v", c.p.Name(), got, c.want)
+		}
+	}
+}
+
+func TestExpSmoothing(t *testing.T) {
+	// alpha=1 -> last value; alpha->0 -> first value dominates.
+	h := []float64{1, 2, 3}
+	if got := (ExpSmoothing{Alpha: 1}).Predict(h); !almost(got, 3) {
+		t.Errorf("alpha=1: %v", got)
+	}
+	got := (ExpSmoothing{Alpha: 0.5}).Predict(h)
+	// s = 1; s = 0.5*2+0.5*1 = 1.5; s = 0.5*3+0.5*1.5 = 2.25
+	if !almost(got, 2.25) {
+		t.Errorf("alpha=0.5: %v", got)
+	}
+	// Out-of-range alpha clamps to 0.5.
+	if got2 := (ExpSmoothing{Alpha: 7}).Predict(h); !almost(got2, got) {
+		t.Errorf("clamped alpha: %v vs %v", got2, got)
+	}
+}
+
+func TestPredictorsStayInRangeProperty(t *testing.T) {
+	// Every predictor's forecast lies within [min, max] of the history.
+	preds := []Predictor{LastValue{}, RunningMean{}, WindowMean{K: 3},
+		WindowMedian{K: 3}, ExpSmoothing{Alpha: 0.3}}
+	f := func(raw []float64) bool {
+		h := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				h = append(h, math.Mod(math.Abs(v), 100))
+			}
+		}
+		if len(h) == 0 {
+			return true
+		}
+		lo, hi := h[0], h[0]
+		for _, v := range h {
+			lo, hi = math.Min(lo, v), math.Max(hi, v)
+		}
+		for _, p := range preds {
+			g := p.Predict(h)
+			if g < lo-1e-9 || g > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAdaptivePicksGoodPredictorOnConstantSeries(t *testing.T) {
+	a := NewAdaptive()
+	for i := 0; i < 50; i++ {
+		a.Observe(0.4)
+	}
+	got, _, err := a.Forecast()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(got, 0.4) {
+		t.Errorf("forecast = %v", got)
+	}
+}
+
+func TestAdaptivePrefersLastValueOnTrend(t *testing.T) {
+	// On a strong monotone trend, last-value beats the running mean.
+	a := NewAdaptive(LastValue{}, RunningMean{})
+	for i := 0; i < 100; i++ {
+		a.Observe(float64(i))
+	}
+	_, name, err := a.Forecast()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "last" {
+		t.Errorf("best predictor on trend = %q, want last", name)
+	}
+}
+
+func TestAdaptivePrefersSmoothingOnOscillation(t *testing.T) {
+	// On a +-1 oscillation around 0.5, the mean predictor (error ~1)
+	// beats last-value (error ~2 each step).
+	a := NewAdaptive(LastValue{}, RunningMean{})
+	for i := 0; i < 100; i++ {
+		v := 0.0
+		if i%2 == 0 {
+			v = 1.0
+		}
+		a.Observe(v)
+	}
+	_, name, err := a.Forecast()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "mean" {
+		t.Errorf("best predictor on oscillation = %q, want mean", name)
+	}
+}
+
+func TestAdaptiveEmpty(t *testing.T) {
+	a := NewAdaptive()
+	if _, _, err := a.Forecast(); err == nil {
+		t.Error("forecast with no observations succeeded")
+	}
+}
+
+func TestAdaptiveHistoryBounded(t *testing.T) {
+	a := NewAdaptive()
+	a.maxHist = 16
+	for i := 0; i < 100; i++ {
+		a.Observe(float64(i))
+	}
+	if n := len(a.History()); n != 16 {
+		t.Errorf("history length = %d", n)
+	}
+}
+
+func TestHistoryAttrRoundTrip(t *testing.T) {
+	h := []float64{0.1, 0.2, 0.3}
+	v := HistoryAttr(h)
+	got, err := historyFromAttr(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range h {
+		if !almost(got[i], h[i]) {
+			t.Errorf("round trip: %v", got)
+		}
+	}
+	if _, err := historyFromAttr(attr.String("nope")); err == nil {
+		t.Error("non-list accepted")
+	}
+	if _, err := historyFromAttr(attr.List(attr.String("x"))); err == nil {
+		t.Error("non-numeric element accepted")
+	}
+	if _, err := historyFromAttr(attr.List()); err == nil {
+		t.Error("empty list accepted")
+	}
+}
+
+func TestInjectForecastIntoCollection(t *testing.T) {
+	rt := orb.NewRuntime("uva")
+	c := collection.New(rt, nil)
+	InjectForecast(c, WindowMean{K: 3})
+
+	busy := loid.LOID{Domain: "uva", Class: "Host", Instance: 1}
+	idle := loid.LOID{Domain: "uva", Class: "Host", Instance: 2}
+	c.Join(busy, []attr.Pair{{Name: "host_load_history",
+		Value: HistoryAttr([]float64{0.9, 0.95, 0.85})}}, "")
+	c.Join(idle, []attr.Pair{{Name: "host_load_history",
+		Value: HistoryAttr([]float64{0.2, 0.1, 0.15})}}, "")
+
+	recs, err := c.Query(`forecast_load() < 0.5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Member != idle {
+		t.Errorf("forecast query: %+v", recs)
+	}
+
+	// Custom attribute name argument (guarded with defined() since only
+	// one record carries the attribute).
+	c.Join(idle, []attr.Pair{{Name: "mem_history",
+		Value: HistoryAttr([]float64{100, 110, 120})}}, "")
+	recs, err = c.Query(`defined($mem_history) and forecast_load("mem_history") > 100`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Member != idle {
+		t.Errorf("custom-attr forecast: %+v", recs)
+	}
+
+	// A record without history fails that record's term, erroring the
+	// query (consistent with type errors) — use defined() to guard.
+	c.Join(loid.LOID{Domain: "uva", Class: "Host", Instance: 3}, nil, "")
+	if _, err := c.Query(`forecast_load() < 0.5`); err == nil {
+		t.Error("query over history-less record should error")
+	}
+	recs, err = c.Query(`defined($host_load_history) and forecast_load() < 0.5`)
+	if err != nil || len(recs) != 1 {
+		t.Errorf("guarded query: %v %v", recs, err)
+	}
+}
+
+func TestInjectForecastDefaultPredictor(t *testing.T) {
+	rt := orb.NewRuntime("uva")
+	c := collection.New(rt, nil)
+	InjectForecast(c, nil)
+	m := loid.LOID{Domain: "uva", Class: "Host", Instance: 1}
+	c.Join(m, []attr.Pair{{Name: "host_load_history",
+		Value: HistoryAttr([]float64{0.4, 0.4, 0.4})}}, "")
+	// Range check rather than equality: the mean of three 0.4s differs
+	// from 0.4 by a ulp.
+	recs, err := c.Query(`forecast_load() > 0.39 and forecast_load() < 0.41`)
+	if err != nil || len(recs) != 1 {
+		t.Errorf("default predictor: %v %v", recs, err)
+	}
+}

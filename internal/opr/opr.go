@@ -1,0 +1,110 @@
+// Package opr implements the Object Persistent Representation.
+//
+// The paper (§2.1): "To be executed, a Legion object must have a Vault to
+// hold its persistent state in an Object Persistent Representation (OPR).
+// The OPR is used for migration and for shutdown/restart purposes. All
+// Legion objects automatically support shutdown and restart, and
+// therefore any active object can be migrated by shutting it down, moving
+// the passive state to a new Vault if necessary, and activating the
+// object on another host."
+//
+// An OPR here is the gob-serialized passive state of an object plus
+// integrity metadata: the owning LOID, a monotonically increasing
+// version, a save timestamp, and a SHA-256 digest over the payload so a
+// Vault (or the object itself, on restart) can detect corruption.
+package opr
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"time"
+
+	"legion/internal/loid"
+)
+
+// OPR is the passive, storable representation of a Legion object.
+type OPR struct {
+	// Object is the LOID of the object this state belongs to.
+	Object loid.LOID
+	// Class is the object's class name, kept denormalized so a Vault can
+	// answer "what kinds of OPRs do you hold" without decoding payloads.
+	Class string
+	// Version increases with every save of the same object; a Vault keeps
+	// only the newest version.
+	Version uint64
+	// SavedAt is when the state was captured.
+	SavedAt time.Time
+	// Payload is the gob-encoded object state.
+	Payload []byte
+	// Digest is the SHA-256 hash of Payload.
+	Digest [sha256.Size]byte
+}
+
+// ErrCorrupt reports that an OPR's payload does not match its digest.
+var ErrCorrupt = errors.New("opr: payload digest mismatch")
+
+// Encode captures an object's state into an OPR. The state value must be
+// gob-encodable.
+func Encode(object loid.LOID, version uint64, state any) (*OPR, error) {
+	if object.IsNil() {
+		return nil, errors.New("opr: nil object LOID")
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(state); err != nil {
+		return nil, fmt.Errorf("opr: encode state for %v: %w", object, err)
+	}
+	payload := buf.Bytes()
+	return &OPR{
+		Object:  object,
+		Class:   object.Class,
+		Version: version,
+		SavedAt: time.Now(),
+		Payload: payload,
+		Digest:  sha256.Sum256(payload),
+	}, nil
+}
+
+// Verify checks the payload against the stored digest.
+func (o *OPR) Verify() error {
+	if sha256.Sum256(o.Payload) != o.Digest {
+		return fmt.Errorf("%w (object %v)", ErrCorrupt, o.Object)
+	}
+	return nil
+}
+
+// Decode verifies integrity and decodes the payload into state, which
+// must be a pointer to the same type passed to Encode.
+func (o *OPR) Decode(state any) error {
+	if err := o.Verify(); err != nil {
+		return err
+	}
+	if err := gob.NewDecoder(bytes.NewReader(o.Payload)).Decode(state); err != nil {
+		return fmt.Errorf("opr: decode state for %v: %w", o.Object, err)
+	}
+	return nil
+}
+
+// Clone returns a deep copy; Vaults hand out clones so callers cannot
+// mutate stored state.
+func (o *OPR) Clone() *OPR {
+	c := *o
+	c.Payload = append([]byte(nil), o.Payload...)
+	return &c
+}
+
+// Size returns the payload size in bytes, used for Vault capacity
+// accounting.
+func (o *OPR) Size() int { return len(o.Payload) }
+
+// Persistent is implemented by objects that support Legion's automatic
+// shutdown/restart protocol. SaveState returns a gob-encodable snapshot
+// of the object's state; RestoreState reinstates a snapshot produced by
+// SaveState (possibly by another instance, on another host — that is
+// migration).
+type Persistent interface {
+	SaveState() (any, error)
+	RestoreState(state *OPR) error
+}

@@ -1,0 +1,115 @@
+package opr
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"legion/internal/loid"
+)
+
+var obj = loid.LOID{Domain: "uva", Class: "Worker", Instance: 3}
+
+type workerState struct {
+	Iteration int
+	Grid      []float64
+	Name      string
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	in := workerState{Iteration: 42, Grid: []float64{1.5, 2.5}, Name: "w"}
+	o, err := Encode(obj, 7, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Object != obj || o.Class != "Worker" || o.Version != 7 {
+		t.Errorf("metadata: %+v", o)
+	}
+	if o.Size() != len(o.Payload) || o.Size() == 0 {
+		t.Errorf("Size = %d", o.Size())
+	}
+	var out workerState
+	if err := o.Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Iteration != in.Iteration || out.Name != in.Name ||
+		len(out.Grid) != 2 || out.Grid[1] != 2.5 {
+		t.Errorf("round trip: %+v", out)
+	}
+}
+
+func TestEncodeNilLOID(t *testing.T) {
+	if _, err := Encode(loid.Nil, 1, 5); err == nil {
+		t.Error("nil LOID accepted")
+	}
+}
+
+func TestEncodeUnencodable(t *testing.T) {
+	if _, err := Encode(obj, 1, make(chan int)); err == nil {
+		t.Error("channel state accepted")
+	}
+}
+
+func TestCorruptionDetected(t *testing.T) {
+	o, err := Encode(obj, 1, workerState{Iteration: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Verify(); err != nil {
+		t.Fatalf("fresh OPR fails Verify: %v", err)
+	}
+	o.Payload[0] ^= 0xff
+	if err := o.Verify(); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("Verify after corruption = %v, want ErrCorrupt", err)
+	}
+	var out workerState
+	if err := o.Decode(&out); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("Decode after corruption = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	o, _ := Encode(obj, 1, workerState{Iteration: 9})
+	c := o.Clone()
+	c.Payload[0] ^= 0xff
+	if err := o.Verify(); err != nil {
+		t.Error("mutating clone corrupted original")
+	}
+	if err := c.Verify(); err == nil {
+		t.Error("clone should be corrupt")
+	}
+}
+
+func TestDecodeTypeMismatch(t *testing.T) {
+	o, _ := Encode(obj, 1, workerState{Iteration: 1})
+	var wrong chan int
+	if err := o.Decode(&wrong); err == nil {
+		t.Error("decode into wrong type succeeded")
+	}
+}
+
+// Property: any byte-slice state survives encode/decode, and any single
+// byte flip in the payload is detected.
+func TestRoundTripAndTamperProperty(t *testing.T) {
+	f := func(data []byte, flip uint16) bool {
+		o, err := Encode(obj, 1, data)
+		if err != nil {
+			return false
+		}
+		var out []byte
+		if err := o.Decode(&out); err != nil {
+			return false
+		}
+		if string(out) != string(data) {
+			return false
+		}
+		if len(o.Payload) == 0 {
+			return true
+		}
+		o.Payload[int(flip)%len(o.Payload)] ^= 0x01
+		return errors.Is(o.Verify(), ErrCorrupt)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

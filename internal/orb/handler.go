@@ -1,0 +1,60 @@
+package orb
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"legion/internal/loid"
+)
+
+// Method is one exported method of a ServiceObject.
+type Method func(ctx context.Context, arg any) (any, error)
+
+// ServiceObject is a convenience Object implementation backed by a method
+// table. The RMI components (Hosts, Collections, Enactors, ...) embed it
+// and register their methods at construction time; tests use it to stand
+// up lightweight objects.
+type ServiceObject struct {
+	l  loid.LOID
+	mu sync.RWMutex
+	m  map[string]Method
+}
+
+// NewServiceObject creates a ServiceObject named l with no methods.
+func NewServiceObject(l loid.LOID) *ServiceObject {
+	return &ServiceObject{l: l, m: make(map[string]Method)}
+}
+
+// LOID implements Object.
+func (s *ServiceObject) LOID() loid.LOID { return s.l }
+
+// Handle registers (or replaces) a method.
+func (s *ServiceObject) Handle(name string, m Method) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m[name] = m
+}
+
+// Methods returns the names of all registered methods; useful for the
+// interface-conformance checks in the Table 1 reproduction.
+func (s *ServiceObject) Methods() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.m))
+	for name := range s.m {
+		out = append(out, name)
+	}
+	return out
+}
+
+// Dispatch implements Object.
+func (s *ServiceObject) Dispatch(ctx context.Context, method string, arg any) (any, error) {
+	s.mu.RLock()
+	m, ok := s.m[method]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q on %v", ErrNoMethod, method, s.l)
+	}
+	return m(ctx, arg)
+}

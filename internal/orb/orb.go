@@ -1,0 +1,269 @@
+// Package orb is the object runtime underlying the Legion resource
+// management reproduction.
+//
+// Legion is an object-oriented metacomputing environment: every component
+// — Hosts, Vaults, Collections, Enactors, Class objects — is an active
+// object named by a LOID and invoked by location-independent method calls.
+// The original system implements this with the Legion run-time library
+// (Viles et al. 1997); this package provides the equivalent substrate in
+// Go:
+//
+//   - a Runtime holding a binding table from LOIDs to objects (local) or
+//     TCP endpoints (remote),
+//   - synchronous method invocation via Call, transparently local or
+//     remote,
+//   - a gob-based wire protocol (tcp.go) so multiple Runtimes form one
+//     metasystem across OS processes ("multi-process emulation"),
+//   - fault injection and latency hooks so tests and benchmarks can
+//     exercise the failure tolerance the paper requires ("our Legion
+//     objects are built to accommodate failure at any step in the
+//     scheduling process").
+//
+// Objects registered with a Runtime must be safe for concurrent use:
+// calls are dispatched on the caller's goroutine (local) or a connection
+// goroutine (remote), and the runtime imposes no per-object serialization.
+package orb
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"legion/internal/loid"
+)
+
+// Object is an active Legion object that can receive method calls.
+type Object interface {
+	// LOID returns the object's name.
+	LOID() loid.LOID
+	// Dispatch handles one method invocation. Arguments and results are
+	// values of wire-registered types (see RegisterWireType); they must
+	// be treated as immutable since local calls pass them by reference.
+	Dispatch(ctx context.Context, method string, arg any) (any, error)
+}
+
+// Errors returned by the runtime itself (as opposed to errors returned by
+// the target object's method).
+var (
+	// ErrNotBound reports that the target LOID has no binding. In the
+	// paper's model this is what an inactive (deactivated) object looks
+	// like from the outside until its class reactivates it.
+	ErrNotBound = errors.New("orb: LOID not bound")
+	// ErrNoMethod reports that the object does not implement the method.
+	ErrNoMethod = errors.New("orb: no such method")
+	// ErrInjectedFault reports a fault introduced by a FaultInjector.
+	ErrInjectedFault = errors.New("orb: injected fault")
+)
+
+// RemoteError is a method error that crossed the wire. It preserves the
+// message of the remote error; errors.Is matching for sentinel errors
+// like ErrNoMethod is handled by the transport.
+type RemoteError struct{ Msg string }
+
+// Error implements the error interface.
+func (e *RemoteError) Error() string { return e.Msg }
+
+// FaultInjector decides whether a given call should fail artificially.
+// Returning a non-nil error aborts the call before it reaches the target.
+type FaultInjector func(target loid.LOID, method string) error
+
+// CallTracer observes every call made through a Runtime, for the step
+// traces used to reproduce the paper's Figure 3 walkthrough.
+type CallTracer func(caller string, target loid.LOID, method string, d time.Duration, err error)
+
+// Runtime is one node of the metasystem: a registry of local objects, a
+// binding table for remote ones, and the machinery to invoke both.
+type Runtime struct {
+	name   string
+	minter *loid.Minter
+
+	mu      sync.RWMutex
+	objects map[loid.LOID]Object
+	remote  map[loid.LOID]string // LOID -> TCP address
+	domains map[string]string    // domain -> TCP address (fallback binding)
+
+	clientsMu sync.Mutex
+	clients   map[string]*tcpClient
+
+	server *tcpServer
+
+	hooksMu sync.RWMutex
+	inject  FaultInjector
+	latency time.Duration
+	jitter  time.Duration
+	tracer  CallTracer
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+}
+
+// NewRuntime creates a runtime for the given administrative domain. The
+// domain names the site (site autonomy is a core Legion objective); all
+// LOIDs minted through the runtime carry it.
+func NewRuntime(domain string) *Runtime {
+	return &Runtime{
+		name:    domain,
+		minter:  loid.NewMinter(domain),
+		objects: make(map[loid.LOID]Object),
+		remote:  make(map[loid.LOID]string),
+		domains: make(map[string]string),
+		clients: make(map[string]*tcpClient),
+		rng:     rand.New(rand.NewSource(1)),
+	}
+}
+
+// Domain returns the runtime's administrative domain name.
+func (rt *Runtime) Domain() string { return rt.name }
+
+// Mint mints a fresh LOID in this runtime's domain.
+func (rt *Runtime) Mint(class string) loid.LOID { return rt.minter.Mint(class) }
+
+// Register makes a local object callable. Registering an object whose
+// LOID is already bound replaces the binding (reactivation).
+func (rt *Runtime) Register(obj Object) {
+	l := obj.LOID()
+	if l.IsNil() {
+		panic("orb: registering object with nil LOID")
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.objects[l] = obj
+	delete(rt.remote, l)
+}
+
+// Unregister removes a local object binding; subsequent calls to it fail
+// with ErrNotBound. This is the runtime-level half of object deactivation.
+func (rt *Runtime) Unregister(l loid.LOID) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	delete(rt.objects, l)
+}
+
+// Lookup returns the local object bound to l, if any. Intended for
+// co-located fast paths and tests; normal interaction goes through Call.
+func (rt *Runtime) Lookup(l loid.LOID) (Object, bool) {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	o, ok := rt.objects[l]
+	return o, ok
+}
+
+// Bind records that the object named l lives at the given TCP address
+// (another Runtime's listener).
+func (rt *Runtime) Bind(l loid.LOID, addr string) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if _, local := rt.objects[l]; !local {
+		rt.remote[l] = addr
+	}
+}
+
+// BindDomain routes all otherwise-unbound LOIDs of an administrative
+// domain to the given address. This models inter-site routing without
+// per-object bindings.
+func (rt *Runtime) BindDomain(domain, addr string) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.domains[domain] = addr
+}
+
+// Locals returns the LOIDs of all locally registered objects, in
+// unspecified order.
+func (rt *Runtime) Locals() []loid.LOID {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	out := make([]loid.LOID, 0, len(rt.objects))
+	for l := range rt.objects {
+		out = append(out, l)
+	}
+	return out
+}
+
+// SetFaultInjector installs (or clears, with nil) a fault injector
+// consulted before every call.
+func (rt *Runtime) SetFaultInjector(f FaultInjector) {
+	rt.hooksMu.Lock()
+	defer rt.hooksMu.Unlock()
+	rt.inject = f
+}
+
+// SetLatency adds a simulated base latency and uniform jitter to every
+// call made through this runtime, modeling the wide-area links of a
+// metasystem. Zero disables.
+func (rt *Runtime) SetLatency(base, jitter time.Duration) {
+	rt.hooksMu.Lock()
+	defer rt.hooksMu.Unlock()
+	rt.latency = base
+	rt.jitter = jitter
+}
+
+// SetTracer installs (or clears) a tracer observing every call.
+func (rt *Runtime) SetTracer(t CallTracer) {
+	rt.hooksMu.Lock()
+	defer rt.hooksMu.Unlock()
+	rt.tracer = t
+}
+
+// Call synchronously invokes method on the object named target, passing
+// arg and returning the method's result. It consults, in order: the fault
+// injector, the local object table, the per-LOID remote bindings, and the
+// per-domain bindings. Call honors ctx cancellation for remote calls and
+// latency simulation; local dispatch runs on the caller's goroutine.
+func (rt *Runtime) Call(ctx context.Context, target loid.LOID, method string, arg any) (any, error) {
+	start := time.Now()
+	res, err := rt.call(ctx, target, method, arg)
+	rt.hooksMu.RLock()
+	tracer := rt.tracer
+	rt.hooksMu.RUnlock()
+	if tracer != nil {
+		tracer(rt.name, target, method, time.Since(start), err)
+	}
+	return res, err
+}
+
+func (rt *Runtime) call(ctx context.Context, target loid.LOID, method string, arg any) (any, error) {
+	if target.IsNil() {
+		return nil, fmt.Errorf("%w: nil LOID", ErrNotBound)
+	}
+	rt.hooksMu.RLock()
+	inject, latency, jitter := rt.inject, rt.latency, rt.jitter
+	rt.hooksMu.RUnlock()
+
+	if inject != nil {
+		if err := inject(target, method); err != nil {
+			return nil, err
+		}
+	}
+	if latency > 0 || jitter > 0 {
+		d := latency
+		if jitter > 0 {
+			rt.rngMu.Lock()
+			d += time.Duration(rt.rng.Int63n(int64(jitter) + 1))
+			rt.rngMu.Unlock()
+		}
+		select {
+		case <-time.After(d):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+
+	rt.mu.RLock()
+	obj, local := rt.objects[target]
+	addr, bound := rt.remote[target]
+	if !local && !bound {
+		addr, bound = rt.domains[target.Domain]
+	}
+	rt.mu.RUnlock()
+
+	if local {
+		return obj.Dispatch(ctx, method, arg)
+	}
+	if bound {
+		return rt.callRemote(ctx, addr, target, method, arg)
+	}
+	return nil, fmt.Errorf("%w: %v", ErrNotBound, target)
+}

@@ -1,0 +1,332 @@
+package orb
+
+import (
+	"context"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"legion/internal/loid"
+)
+
+// RegisterWireType registers a concrete type for transmission inside the
+// protocol's `any` argument/result slots. Packages defining message types
+// call this from init(); it wraps encoding/gob registration.
+func RegisterWireType(v any) { gob.Register(v) }
+
+// request is one method invocation on the wire.
+type request struct {
+	ID     uint64
+	Target wireLOID
+	Method string
+	Arg    any
+}
+
+// wireLOID mirrors loid.LOID for gob (kept separate so the loid package
+// stays transport-agnostic).
+type wireLOID struct {
+	Domain   string
+	Class    string
+	Instance uint64
+}
+
+// response is the reply to one request.
+type response struct {
+	ID      uint64
+	Result  any
+	ErrMsg  string
+	ErrKind int // 0 none, 1 generic, 2 not bound, 3 no method
+}
+
+const (
+	errKindNone = iota
+	errKindGeneric
+	errKindNotBound
+	errKindNoMethod
+)
+
+func encodeErr(err error) (int, string) {
+	switch {
+	case err == nil:
+		return errKindNone, ""
+	case errors.Is(err, ErrNotBound):
+		return errKindNotBound, err.Error()
+	case errors.Is(err, ErrNoMethod):
+		return errKindNoMethod, err.Error()
+	default:
+		return errKindGeneric, err.Error()
+	}
+}
+
+func decodeErr(kind int, msg string) error {
+	switch kind {
+	case errKindNone:
+		return nil
+	case errKindNotBound:
+		return fmt.Errorf("%w: %s", ErrNotBound, msg)
+	case errKindNoMethod:
+		return fmt.Errorf("%w: %s", ErrNoMethod, msg)
+	default:
+		return &RemoteError{Msg: msg}
+	}
+}
+
+// tcpServer accepts connections and serves requests against a Runtime.
+type tcpServer struct {
+	rt     *Runtime
+	ln     net.Listener
+	mu     sync.Mutex
+	cs     map[net.Conn]struct{}
+	wg     sync.WaitGroup
+	ctx    context.Context
+	cancel context.CancelFunc
+}
+
+// ListenAndServe starts serving this runtime's objects on addr (e.g.
+// "127.0.0.1:0"). It returns the bound address. A runtime serves at most
+// one listener; calling it twice is an error.
+func (rt *Runtime) ListenAndServe(addr string) (string, error) {
+	rt.mu.Lock()
+	if rt.server != nil {
+		rt.mu.Unlock()
+		return "", errors.New("orb: runtime already listening")
+	}
+	rt.mu.Unlock()
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("orb: listen: %w", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &tcpServer{rt: rt, ln: ln, cs: make(map[net.Conn]struct{}), ctx: ctx, cancel: cancel}
+
+	rt.mu.Lock()
+	rt.server = s
+	rt.mu.Unlock()
+
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return ln.Addr().String(), nil
+}
+
+// Addr returns the listener address, or "" if not listening.
+func (rt *Runtime) Addr() string {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	if rt.server == nil {
+		return ""
+	}
+	return rt.server.ln.Addr().String()
+}
+
+// Close shuts down the listener, all server connections, and all client
+// connections. The runtime's local object table is unaffected.
+func (rt *Runtime) Close() error {
+	rt.mu.Lock()
+	s := rt.server
+	rt.server = nil
+	rt.mu.Unlock()
+	if s != nil {
+		s.cancel()
+		s.ln.Close()
+		s.mu.Lock()
+		for c := range s.cs {
+			c.Close()
+		}
+		s.mu.Unlock()
+		s.wg.Wait()
+	}
+	rt.clientsMu.Lock()
+	for addr, c := range rt.clients {
+		c.close(errors.New("orb: runtime closed"))
+		delete(rt.clients, addr)
+	}
+	rt.clientsMu.Unlock()
+	return nil
+}
+
+func (s *tcpServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		s.cs[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *tcpServer) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.cs, conn)
+		s.mu.Unlock()
+	}()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	var encMu sync.Mutex
+	var reqWG sync.WaitGroup
+	defer reqWG.Wait()
+	for {
+		var req request
+		if err := dec.Decode(&req); err != nil {
+			return // EOF or protocol error: drop the connection
+		}
+		reqWG.Add(1)
+		go func(req request) {
+			defer reqWG.Done()
+			target := loidFromWire(req.Target)
+			res, err := s.rt.Call(s.ctx, target, req.Method, req.Arg)
+			kind, msg := encodeErr(err)
+			resp := response{ID: req.ID, Result: res, ErrMsg: msg, ErrKind: kind}
+			encMu.Lock()
+			encodeFailed := enc.Encode(&resp) != nil
+			encMu.Unlock()
+			if encodeFailed {
+				conn.Close()
+			}
+		}(req)
+	}
+}
+
+// tcpClient multiplexes calls to one remote runtime over one connection.
+type tcpClient struct {
+	conn  net.Conn
+	enc   *gob.Encoder
+	encMu sync.Mutex
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan response
+	err     error
+}
+
+func dialClient(addr string) (*tcpClient, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("orb: dial %s: %w", addr, err)
+	}
+	c := &tcpClient{
+		conn:    conn,
+		enc:     gob.NewEncoder(conn),
+		pending: make(map[uint64]chan response),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+func (c *tcpClient) readLoop() {
+	dec := gob.NewDecoder(c.conn)
+	for {
+		var resp response
+		if err := dec.Decode(&resp); err != nil {
+			if err == io.EOF {
+				err = errors.New("orb: connection closed by peer")
+			}
+			c.close(err)
+			return
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[resp.ID]
+		delete(c.pending, resp.ID)
+		c.mu.Unlock()
+		if ok {
+			ch <- resp
+		}
+	}
+}
+
+// close fails all pending calls and marks the client dead.
+func (c *tcpClient) close(err error) {
+	c.conn.Close()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err == nil {
+		c.err = err
+	}
+	for id, ch := range c.pending {
+		delete(c.pending, id)
+		ch <- response{ErrKind: errKindGeneric, ErrMsg: c.err.Error()}
+	}
+}
+
+func (c *tcpClient) call(ctx context.Context, req request) (any, error) {
+	ch := make(chan response, 1)
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return nil, err
+	}
+	c.nextID++
+	req.ID = c.nextID
+	c.pending[req.ID] = ch
+	c.mu.Unlock()
+
+	c.encMu.Lock()
+	err := c.enc.Encode(&req)
+	c.encMu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, req.ID)
+		c.mu.Unlock()
+		c.close(fmt.Errorf("orb: send: %w", err))
+		return nil, fmt.Errorf("orb: send: %w", err)
+	}
+
+	select {
+	case resp := <-ch:
+		return resp.Result, decodeErr(resp.ErrKind, resp.ErrMsg)
+	case <-ctx.Done():
+		c.mu.Lock()
+		delete(c.pending, req.ID)
+		c.mu.Unlock()
+		return nil, ctx.Err()
+	}
+}
+
+// client returns (dialing if necessary) the shared client for addr.
+func (rt *Runtime) client(addr string) (*tcpClient, error) {
+	rt.clientsMu.Lock()
+	defer rt.clientsMu.Unlock()
+	if c, ok := rt.clients[addr]; ok {
+		c.mu.Lock()
+		dead := c.err != nil
+		c.mu.Unlock()
+		if !dead {
+			return c, nil
+		}
+		delete(rt.clients, addr)
+	}
+	c, err := dialClient(addr)
+	if err != nil {
+		return nil, err
+	}
+	rt.clients[addr] = c
+	return c, nil
+}
+
+func (rt *Runtime) callRemote(ctx context.Context, addr string, target loid.LOID, method string, arg any) (any, error) {
+	c, err := rt.client(addr)
+	if err != nil {
+		return nil, err
+	}
+	return c.call(ctx, request{
+		Target: wireLOID{Domain: target.Domain, Class: target.Class, Instance: target.Instance},
+		Method: method,
+		Arg:    arg,
+	})
+}
+
+func loidFromWire(w wireLOID) loid.LOID {
+	return loid.LOID{Domain: w.Domain, Class: w.Class, Instance: w.Instance}
+}

@@ -1,0 +1,59 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+
+	"legion/internal/attr"
+)
+
+// Expr is a parsed query expression node.
+type Expr interface {
+	// String renders the node as query source text; Parse(e.String())
+	// yields an equivalent expression.
+	String() string
+	// eval evaluates the node against an environment.
+	eval(env *Env) (attr.Value, error)
+}
+
+// binaryExpr is a boolean or relational binary operation.
+type binaryExpr struct {
+	op       string // "and", "or", "==", "!=", "<", "<=", ">", ">="
+	lhs, rhs Expr
+}
+
+// notExpr is logical negation.
+type notExpr struct{ sub Expr }
+
+// literalExpr is a string, number, or boolean literal.
+type literalExpr struct{ val attr.Value }
+
+// attrExpr is a $name attribute reference.
+type attrExpr struct{ name string }
+
+// callExpr is a function call, built-in or injected.
+type callExpr struct {
+	name string
+	args []Expr
+}
+
+func (e *binaryExpr) String() string {
+	return fmt.Sprintf("(%s %s %s)", e.lhs, e.op, e.rhs)
+}
+
+func (e *notExpr) String() string { return fmt.Sprintf("(not %s)", e.sub) }
+
+func (e *literalExpr) String() string {
+	// attr.Value.String quotes strings, which matches query syntax.
+	return e.val.String()
+}
+
+func (e *attrExpr) String() string { return "$" + e.name }
+
+func (e *callExpr) String() string {
+	parts := make([]string, len(e.args))
+	for i, a := range e.args {
+		parts[i] = a.String()
+	}
+	return fmt.Sprintf("%s(%s)", e.name, strings.Join(parts, ", "))
+}

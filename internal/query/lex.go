@@ -1,0 +1,272 @@
+// Package query implements the Collection query language of the Legion
+// resource management system.
+//
+// The paper (§3.2): "A Collection query is a logical expression conforming
+// to the grammar described in our earlier work [MESSIAHS]. This grammar
+// allows typical operations (field matching, semantic comparisons, and
+// boolean combinations of terms). Identifiers refer to attribute names
+// within a particular record, and are of the form $AttributeName."
+//
+// The concrete grammar implemented here:
+//
+//	expr       := orExpr
+//	orExpr     := andExpr { "or" andExpr }
+//	andExpr    := notExpr { "and" notExpr }
+//	notExpr    := "not" notExpr | comparison
+//	comparison := operand [ ("=="|"!="|"<"|"<="|">"|">=") operand ]
+//	operand    := string | number | "true" | "false" | $ident
+//	            | ident "(" [expr {"," expr}] ")" | "(" expr ")"
+//
+// Built-in functions: match(regex, subject) — per the paper's footnote 5,
+// the FIRST argument is the regular expression ("some earlier descriptions
+// ... erroneously had the regular expression as the second argument");
+// contains(list, elem); defined($attr); len(x).
+//
+// §3.2 also previews "function injection — the ability for users to
+// install code to dynamically compute new description information".
+// Package query supports this via Env.Funcs: user-registered functions are
+// callable from queries exactly like built-ins (see internal/nws for the
+// Network Weather Service forecasters the paper motivates this with).
+package query
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind enumerates lexical token kinds.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokString
+	tokNumber
+	tokIdent  // bare identifier: function name, and/or/not/true/false
+	tokAttr   // $name
+	tokLParen // (
+	tokRParen // )
+	tokComma  // ,
+	tokOp     // == != < <= > >=
+)
+
+func (k tokKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of query"
+	case tokString:
+		return "string"
+	case tokNumber:
+		return "number"
+	case tokIdent:
+		return "identifier"
+	case tokAttr:
+		return "attribute"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokComma:
+		return "','"
+	case tokOp:
+		return "operator"
+	default:
+		return "unknown token"
+	}
+}
+
+// token is a lexical token with its source position (byte offset).
+type token struct {
+	kind  tokKind
+	text  string // identifier/attr name, operator text, or decoded string
+	num   float64
+	isInt bool
+	intv  int64
+	pos   int
+}
+
+// lexer converts query source text into tokens.
+type lexer struct {
+	src string
+	pos int
+}
+
+// SyntaxError describes a lexical or parse error with its byte offset in
+// the query text.
+type SyntaxError struct {
+	Pos int
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("query: syntax error at offset %d: %s", e.Pos, e.Msg)
+}
+
+func (l *lexer) errf(pos int, format string, args ...any) error {
+	return &SyntaxError{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) && unicode.IsSpace(rune(l.src[l.pos])) {
+		l.pos++
+	}
+}
+
+func isIdentStart(b byte) bool {
+	return b == '_' || (b >= 'a' && b <= 'z') || (b >= 'A' && b <= 'Z')
+}
+
+func isIdentByte(b byte) bool {
+	return isIdentStart(b) || (b >= '0' && b <= '9')
+}
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	l.skipSpace()
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case c == '(':
+		l.pos++
+		return token{kind: tokLParen, pos: start}, nil
+	case c == ')':
+		l.pos++
+		return token{kind: tokRParen, pos: start}, nil
+	case c == ',':
+		l.pos++
+		return token{kind: tokComma, pos: start}, nil
+	case c == '$':
+		l.pos++
+		if l.pos >= len(l.src) || !isIdentStart(l.src[l.pos]) {
+			return token{}, l.errf(start, "'$' must be followed by an attribute name")
+		}
+		for l.pos < len(l.src) && isIdentByte(l.src[l.pos]) {
+			l.pos++
+		}
+		return token{kind: tokAttr, text: l.src[start+1 : l.pos], pos: start}, nil
+	case c == '"':
+		return l.lexString(start)
+	case c >= '0' && c <= '9', c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9':
+		return l.lexNumber(start)
+	case isIdentStart(c):
+		for l.pos < len(l.src) && isIdentByte(l.src[l.pos]) {
+			l.pos++
+		}
+		return token{kind: tokIdent, text: l.src[start:l.pos], pos: start}, nil
+	case c == '=' || c == '!' || c == '<' || c == '>':
+		return l.lexOp(start)
+	default:
+		return token{}, l.errf(start, "unexpected character %q", c)
+	}
+}
+
+func (l *lexer) lexString(start int) (token, error) {
+	l.pos++ // consume opening quote
+	var sb strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch c {
+		case '"':
+			l.pos++
+			return token{kind: tokString, text: sb.String(), pos: start}, nil
+		case '\\':
+			l.pos++
+			if l.pos >= len(l.src) {
+				return token{}, l.errf(start, "unterminated escape in string")
+			}
+			esc := l.src[l.pos]
+			switch esc {
+			case '"', '\\':
+				sb.WriteByte(esc)
+			case 'n':
+				sb.WriteByte('\n')
+			case 't':
+				sb.WriteByte('\t')
+			default:
+				// Preserve unknown escapes verbatim so regex escapes like
+				// \. and \d survive: match("5\..*", $os) works unquoted.
+				sb.WriteByte('\\')
+				sb.WriteByte(esc)
+			}
+			l.pos++
+		default:
+			sb.WriteByte(c)
+			l.pos++
+		}
+	}
+	return token{}, l.errf(start, "unterminated string literal")
+}
+
+func (l *lexer) lexNumber(start int) (token, error) {
+	if l.src[l.pos] == '-' {
+		l.pos++
+	}
+	sawDot := false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c >= '0' && c <= '9' {
+			l.pos++
+			continue
+		}
+		if c == '.' && !sawDot {
+			sawDot = true
+			l.pos++
+			continue
+		}
+		break
+	}
+	text := l.src[start:l.pos]
+	if strings.HasSuffix(text, ".") {
+		return token{}, l.errf(start, "malformed number %q", text)
+	}
+	if !sawDot {
+		var iv int64
+		neg := false
+		s := text
+		if s[0] == '-' {
+			neg = true
+			s = s[1:]
+		}
+		for i := 0; i < len(s); i++ {
+			iv = iv*10 + int64(s[i]-'0')
+		}
+		if neg {
+			iv = -iv
+		}
+		return token{kind: tokNumber, isInt: true, intv: iv, num: float64(iv), pos: start}, nil
+	}
+	var f float64
+	if _, err := fmt.Sscanf(text, "%g", &f); err != nil {
+		return token{}, l.errf(start, "malformed number %q", text)
+	}
+	return token{kind: tokNumber, num: f, pos: start}, nil
+}
+
+func (l *lexer) lexOp(start int) (token, error) {
+	c := l.src[l.pos]
+	two := ""
+	if l.pos+1 < len(l.src) {
+		two = l.src[l.pos : l.pos+2]
+	}
+	switch two {
+	case "==", "!=", "<=", ">=":
+		l.pos += 2
+		return token{kind: tokOp, text: two, pos: start}, nil
+	}
+	switch c {
+	case '<', '>':
+		l.pos++
+		return token{kind: tokOp, text: string(c), pos: start}, nil
+	case '=':
+		// Accept single '=' as equality for ergonomic parity with the
+		// paper's informal examples.
+		l.pos++
+		return token{kind: tokOp, text: "==", pos: start}, nil
+	default:
+		return token{}, l.errf(start, "unexpected character %q", c)
+	}
+}

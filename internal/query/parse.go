@@ -1,0 +1,196 @@
+package query
+
+import (
+	"legion/internal/attr"
+)
+
+// parser is a recursive-descent parser over the token stream.
+type parser struct {
+	lex *lexer
+	tok token // one-token lookahead
+}
+
+// Parse parses a query expression. The returned Expr is immutable and safe
+// for concurrent evaluation against many records.
+func Parse(src string) (Expr, error) {
+	p := &parser{lex: &lexer{src: src}}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	e, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokEOF {
+		return nil, p.errf("unexpected %s after expression", p.tok.kind)
+	}
+	return e, nil
+}
+
+// MustParse is Parse but panics on error; for tests and fixed queries.
+func MustParse(src string) Expr {
+	e, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+func (p *parser) advance() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return p.lex.errf(p.tok.pos, format, args...)
+}
+
+func (p *parser) parseOr() (Expr, error) {
+	lhs, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tokIdent && p.tok.text == "or" {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		rhs, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		lhs = &binaryExpr{op: "or", lhs: lhs, rhs: rhs}
+	}
+	return lhs, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	lhs, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tokIdent && p.tok.text == "and" {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		rhs, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		lhs = &binaryExpr{op: "and", lhs: lhs, rhs: rhs}
+	}
+	return lhs, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.tok.kind == tokIdent && p.tok.text == "not" {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		sub, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &notExpr{sub: sub}, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *parser) parseComparison() (Expr, error) {
+	lhs, err := p.parseOperand()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind == tokOp {
+		op := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		rhs, err := p.parseOperand()
+		if err != nil {
+			return nil, err
+		}
+		return &binaryExpr{op: op, lhs: lhs, rhs: rhs}, nil
+	}
+	return lhs, nil
+}
+
+func (p *parser) parseOperand() (Expr, error) {
+	switch p.tok.kind {
+	case tokString:
+		e := &literalExpr{val: attr.String(p.tok.text)}
+		return e, p.advance()
+	case tokNumber:
+		var v attr.Value
+		if p.tok.isInt {
+			v = attr.Int(p.tok.intv)
+		} else {
+			v = attr.Float(p.tok.num)
+		}
+		return &literalExpr{val: v}, p.advance()
+	case tokAttr:
+		e := &attrExpr{name: p.tok.text}
+		return e, p.advance()
+	case tokLParen:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		e, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tokRParen {
+			return nil, p.errf("want ')', got %s", p.tok.kind)
+		}
+		return e, p.advance()
+	case tokIdent:
+		switch p.tok.text {
+		case "true":
+			return &literalExpr{val: attr.Bool(true)}, p.advance()
+		case "false":
+			return &literalExpr{val: attr.Bool(false)}, p.advance()
+		case "and", "or", "not":
+			return nil, p.errf("unexpected keyword %q", p.tok.text)
+		}
+		return p.parseCall()
+	default:
+		return nil, p.errf("unexpected %s", p.tok.kind)
+	}
+}
+
+func (p *parser) parseCall() (Expr, error) {
+	name := p.tok.text
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokLParen {
+		return nil, p.errf("want '(' after function name %q", name)
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	call := &callExpr{name: name}
+	if p.tok.kind == tokRParen {
+		return call, p.advance()
+	}
+	for {
+		arg, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		call.args = append(call.args, arg)
+		switch p.tok.kind {
+		case tokComma:
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		case tokRParen:
+			return call, p.advance()
+		default:
+			return nil, p.errf("want ',' or ')' in argument list, got %s", p.tok.kind)
+		}
+	}
+}

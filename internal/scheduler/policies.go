@@ -1,0 +1,160 @@
+package scheduler
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"legion/internal/sched"
+)
+
+// RoundRobin spreads instances across matching hosts in LOID order,
+// remembering its position across calls. It is deterministic, making it
+// the baseline for reproducible experiments.
+type RoundRobin struct {
+	next atomic.Uint64
+}
+
+// Name implements Generator.
+func (*RoundRobin) Name() string { return "round-robin" }
+
+// Generate implements Generator.
+func (rr *RoundRobin) Generate(ctx context.Context, env *Env, req Request) (sched.RequestList, error) {
+	var master sched.Master
+	for _, cr := range req.Classes {
+		hosts, err := matchingHosts(ctx, env, cr.Class)
+		if err != nil {
+			return sched.RequestList{}, err
+		}
+		hosts = usable(hosts)
+		if len(hosts) == 0 {
+			return sched.RequestList{}, fmt.Errorf("%w: class %v", ErrNoResources, cr.Class)
+		}
+		for i := 0; i < cr.Count; i++ {
+			h := hosts[int(rr.next.Add(1)-1)%len(hosts)]
+			master.Mappings = append(master.Mappings, sched.Mapping{
+				Class: cr.Class, Host: h.LOID, Vault: h.Vaults[0],
+			})
+		}
+	}
+	return sched.RequestList{Masters: []sched.Master{master}, Res: req.Res}, nil
+}
+
+// LoadAware places instances on the least-loaded matching hosts,
+// accounting for the load its own placements add (instances/CPUs). It
+// also emits variant schedules pointing at the next-least-loaded
+// alternatives, so enactment failures degrade gracefully.
+//
+// This is the kind of "smarter" Scheduler the paper's §4 template points
+// toward: same infrastructure interactions as Random, better placement
+// from the same Collection snapshot.
+type LoadAware struct {
+	// Variants is how many alternative schedules to emit; default 2.
+	Variants int
+}
+
+// Name implements Generator.
+func (LoadAware) Name() string { return "load-aware" }
+
+// Generate implements Generator.
+func (g LoadAware) Generate(ctx context.Context, env *Env, req Request) (sched.RequestList, error) {
+	nVar := g.Variants
+	if nVar <= 0 {
+		nVar = 2
+	}
+	var master sched.Master
+	type projected struct {
+		HostInfo
+		extra int // instances this schedule has already put here
+	}
+	for _, cr := range req.Classes {
+		hosts, err := matchingHosts(ctx, env, cr.Class)
+		if err != nil {
+			return sched.RequestList{}, err
+		}
+		hosts = usable(hosts)
+		if len(hosts) == 0 {
+			return sched.RequestList{}, fmt.Errorf("%w: class %v", ErrNoResources, cr.Class)
+		}
+		pool := make([]projected, len(hosts))
+		for i, h := range hosts {
+			pool[i] = projected{HostInfo: h}
+		}
+		effLoad := func(p projected) float64 {
+			cpus := p.CPUs
+			if cpus < 1 {
+				cpus = 1
+			}
+			return p.Load + float64(p.extra)/float64(cpus)
+		}
+		for i := 0; i < cr.Count; i++ {
+			// Least projected load wins; ties break on LOID for
+			// determinism.
+			sort.Slice(pool, func(a, b int) bool {
+				la, lb := effLoad(pool[a]), effLoad(pool[b])
+				if la != lb {
+					return la < lb
+				}
+				return pool[a].LOID.Less(pool[b].LOID)
+			})
+			best := &pool[0]
+			idx := len(master.Mappings)
+			master.Mappings = append(master.Mappings, sched.Mapping{
+				Class: cr.Class, Host: best.LOID, Vault: best.Vaults[0],
+			})
+			best.extra++
+			// Variants: the next-best alternatives for this entry.
+			for v := 0; v < nVar && v+1 < len(pool); v++ {
+				for len(master.Variants) <= v {
+					master.Variants = append(master.Variants, sched.Variant{})
+				}
+				alt := pool[v+1]
+				master.Variants[v].AddReplacement(idx, sched.Mapping{
+					Class: cr.Class, Host: alt.LOID, Vault: alt.Vaults[0],
+				})
+			}
+		}
+	}
+	return sched.RequestList{Masters: []sched.Master{master}, Res: req.Res}, nil
+}
+
+// CostAware prefers the cheapest matching hosts ($host_cost_per_cpu),
+// breaking ties by load. It demonstrates scheduling on the richer
+// descriptive information §3.1 says Hosts can export ("the amount charged
+// per CPU cycle consumed").
+type CostAware struct{}
+
+// Name implements Generator.
+func (CostAware) Name() string { return "cost-aware" }
+
+// Generate implements Generator.
+func (CostAware) Generate(ctx context.Context, env *Env, req Request) (sched.RequestList, error) {
+	var master sched.Master
+	for _, cr := range req.Classes {
+		hosts, err := matchingHosts(ctx, env, cr.Class)
+		if err != nil {
+			return sched.RequestList{}, err
+		}
+		hosts = usable(hosts)
+		if len(hosts) == 0 {
+			return sched.RequestList{}, fmt.Errorf("%w: class %v", ErrNoResources, cr.Class)
+		}
+		sort.Slice(hosts, func(a, b int) bool {
+			if hosts[a].Cost != hosts[b].Cost {
+				return hosts[a].Cost < hosts[b].Cost
+			}
+			if hosts[a].Load != hosts[b].Load {
+				return hosts[a].Load < hosts[b].Load
+			}
+			return hosts[a].LOID.Less(hosts[b].LOID)
+		})
+		for i := 0; i < cr.Count; i++ {
+			h := hosts[i%len(hosts)]
+			master.Mappings = append(master.Mappings, sched.Mapping{
+				Class: cr.Class, Host: h.LOID, Vault: h.Vaults[0],
+			})
+		}
+	}
+	return sched.RequestList{Masters: []sched.Master{master}, Res: req.Res}, nil
+}

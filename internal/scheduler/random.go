@@ -1,0 +1,52 @@
+package scheduler
+
+import (
+	"context"
+	"fmt"
+
+	"legion/internal/sched"
+)
+
+// Random implements the Figure 7 random placement generator.
+//
+// "The Random Scheduling Policy, as the name implies, randomly selects
+// from the available resources that appear to be able to run the task.
+// There is no consideration of load, speed, memory contention,
+// communication patterns, or other factors that might affect the
+// completion time of the task. The goal here is simplicity, not
+// performance." It builds exactly one master schedule with no variants —
+// "the equivalent of the default schedule generator for Legion Classes in
+// releases prior to 1.5".
+type Random struct{}
+
+// Name implements Generator.
+func (Random) Name() string { return "random" }
+
+// Generate implements Generator, following the Fig 7 pseudocode line by
+// line: for each ObjectClass, query the class for implementations, query
+// the Collection for matching Hosts, then for each desired instance pick
+// a Host at random and a compatible Vault at random.
+func (Random) Generate(ctx context.Context, env *Env, req Request) (sched.RequestList, error) {
+	if env.Rand == nil {
+		panic("scheduler: Random requires Env.Rand")
+	}
+	var master sched.Master
+	for _, cr := range req.Classes {
+		hosts, err := matchingHosts(ctx, env, cr.Class)
+		if err != nil {
+			return sched.RequestList{}, err
+		}
+		hosts = usable(hosts)
+		if len(hosts) == 0 {
+			return sched.RequestList{}, fmt.Errorf("%w: class %v", ErrNoResources, cr.Class)
+		}
+		for i := 0; i < cr.Count; i++ {
+			h := hosts[env.Rand.Intn(len(hosts))]
+			v := h.Vaults[env.Rand.Intn(len(h.Vaults))]
+			master.Mappings = append(master.Mappings, sched.Mapping{
+				Class: cr.Class, Host: h.LOID, Vault: v,
+			})
+		}
+	}
+	return sched.RequestList{Masters: []sched.Master{master}, Res: req.Res}, nil
+}

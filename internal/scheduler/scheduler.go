@@ -1,0 +1,244 @@
+// Package scheduler implements Legion Schedulers (paper §3.3, §4).
+//
+// "The Scheduler computes the mapping of objects to resources. At a
+// minimum, the Scheduler knows how many instances of each class must be
+// started. ... The Scheduler obtains resource description information by
+// querying the Collection, and then computes a mapping of object
+// instances to resources. This mapping is passed on to the Enactor for
+// implementation."
+//
+// The paper is explicit that Legion provides enabling technology, not
+// scheduling research: "Legion provides simple, generic default
+// Schedulers that offer the classic '90%' solution". This package
+// provides:
+//
+//   - Random — the Figure 7 random placement generator;
+//   - IRS — Improved Random Scheduling (Figures 8 and 9), which computes
+//     n mappings per object instance with fewer Collection lookups and
+//     emits master + variant schedules;
+//   - RoundRobin — a simple deterministic spreader;
+//   - LoadAware — least-loaded placement using $host_load;
+//   - Stencil — a specialized policy for 2-D nearest-neighbour grids
+//     (§4.3's MPI ocean-simulation scenario), minimizing cross-host
+//     communication edges;
+//
+// plus the Wrapper retry protocol of Figure 9 that drives any generator
+// through the Enactor.
+package scheduler
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"legion/internal/attr"
+	"legion/internal/loid"
+	"legion/internal/orb"
+	"legion/internal/proto"
+	"legion/internal/sched"
+)
+
+// Errors returned by schedulers.
+var (
+	// ErrNoResources reports that the Collection offered no viable hosts.
+	ErrNoResources = errors.New("scheduler: no matching resources in Collection")
+	// ErrExhausted reports that the Wrapper ran out of retry budget.
+	ErrExhausted = errors.New("scheduler: try limits exhausted")
+)
+
+// ClassRequest asks for Count instances of Class.
+type ClassRequest struct {
+	Class loid.LOID
+	Count int
+}
+
+// Request is a placement problem: how many instances of which classes,
+// under what reservation terms.
+type Request struct {
+	Classes []ClassRequest
+	Res     sched.ReservationSpec
+}
+
+// TotalInstances returns the number of mappings a schedule for the
+// request will contain.
+func (r Request) TotalInstances() int {
+	n := 0
+	for _, c := range r.Classes {
+		n += c.Count
+	}
+	return n
+}
+
+// Generator computes schedules: the Scheduler role of Figure 3, step 4.
+// Generators are driven by the Wrapper (or called directly) and must be
+// safe for concurrent use.
+type Generator interface {
+	// Name identifies the policy in experiment reports.
+	Name() string
+	// Generate computes a RequestList (without an ID; the Wrapper
+	// assigns one per negotiation attempt).
+	Generate(ctx context.Context, env *Env, req Request) (sched.RequestList, error)
+}
+
+// Env gives schedulers access to the infrastructure: the runtime for
+// method calls, and the Collection to query. This mirrors layering (d) of
+// Figure 2 — the Scheduler is its own module talking to RM services.
+type Env struct {
+	RT         *orb.Runtime
+	Collection loid.LOID
+	// Rand drives randomized policies; a nil Rand panics in those
+	// policies (determinism must be an explicit choice).
+	Rand *rand.Rand
+	// QueryTimeout bounds Collection and class queries; zero means 30s.
+	QueryTimeout time.Duration
+}
+
+func (e *Env) timeout() time.Duration {
+	if e.QueryTimeout > 0 {
+		return e.QueryTimeout
+	}
+	return 30 * time.Second
+}
+
+// HostInfo is a scheduler's parsed view of one Collection host record.
+type HostInfo struct {
+	LOID   loid.LOID
+	Arch   string
+	OS     string
+	Load   float64
+	CPUs   int
+	Zone   string
+	Cost   float64
+	Batch  bool
+	Vaults []loid.LOID
+}
+
+// queryClassImpls fetches a class's available implementations (Fig 7:
+// "query the class for available implementations").
+func queryClassImpls(ctx context.Context, env *Env, class loid.LOID) ([]proto.Implementation, error) {
+	cctx, cancel := context.WithTimeout(ctx, env.timeout())
+	defer cancel()
+	res, err := env.RT.Call(cctx, class, proto.MethodGetImplementations, nil)
+	if err != nil {
+		return nil, fmt.Errorf("scheduler: get_implementations on %v: %w", class, err)
+	}
+	reply, ok := res.(proto.ImplementationsReply)
+	if !ok {
+		return nil, fmt.Errorf("scheduler: unexpected reply %T", res)
+	}
+	return reply.Impls, nil
+}
+
+// implQuery builds the Collection query matching hosts able to run any of
+// the implementations (Fig 7: "query Collection for Hosts matching
+// available implementations"). A class with no implementations matches
+// any host that reports an architecture.
+func implQuery(impls []proto.Implementation) string {
+	if len(impls) == 0 {
+		return `defined($host_arch)`
+	}
+	terms := make([]string, len(impls))
+	for i, im := range impls {
+		var sub []string
+		if im.Arch != "" {
+			sub = append(sub, fmt.Sprintf(`$host_arch == %q`, im.Arch))
+		}
+		if im.OS != "" {
+			sub = append(sub, fmt.Sprintf(`$host_os_name == %q`, im.OS))
+		}
+		if im.MemoryMB > 0 {
+			sub = append(sub, fmt.Sprintf(`$host_mem_available_mb >= %d`, im.MemoryMB))
+		}
+		if len(sub) == 0 {
+			sub = []string{`defined($host_arch)`}
+		}
+		terms[i] = "(" + strings.Join(sub, " and ") + ")"
+	}
+	return strings.Join(terms, " or ")
+}
+
+// matchingHosts runs one Collection query for a class and parses the
+// results. This is the single lookup per class that IRS amortizes.
+func matchingHosts(ctx context.Context, env *Env, class loid.LOID) ([]HostInfo, error) {
+	impls, err := queryClassImpls(ctx, env, class)
+	if err != nil {
+		return nil, err
+	}
+	return QueryHosts(ctx, env, implQuery(impls))
+}
+
+// QueryHosts runs an arbitrary query against the Collection and parses
+// host records from the result.
+func QueryHosts(ctx context.Context, env *Env, querySrc string) ([]HostInfo, error) {
+	cctx, cancel := context.WithTimeout(ctx, env.timeout())
+	defer cancel()
+	res, err := env.RT.Call(cctx, env.Collection, proto.MethodQueryCollection,
+		proto.QueryArgs{Query: querySrc})
+	if err != nil {
+		return nil, fmt.Errorf("scheduler: collection query: %w", err)
+	}
+	reply, ok := res.(proto.QueryReply)
+	if !ok {
+		return nil, fmt.Errorf("scheduler: unexpected reply %T", res)
+	}
+	hosts := make([]HostInfo, 0, len(reply.Records))
+	for _, rec := range reply.Records {
+		hosts = append(hosts, parseHostInfo(rec))
+	}
+	// Deterministic base order; randomized policies shuffle explicitly.
+	sort.Slice(hosts, func(i, j int) bool { return hosts[i].LOID.Less(hosts[j].LOID) })
+	return hosts, nil
+}
+
+// parseHostInfo converts a Collection record into a HostInfo.
+func parseHostInfo(rec proto.CollectionRecord) HostInfo {
+	m := attr.FromPairs(rec.Attrs)
+	h := HostInfo{LOID: rec.Member}
+	if v, ok := m["host_arch"]; ok {
+		h.Arch = v.Str()
+	}
+	if v, ok := m["host_os_name"]; ok {
+		h.OS = v.Str()
+	}
+	if v, ok := m["host_load"]; ok {
+		h.Load, _ = v.AsFloat()
+	}
+	if v, ok := m["host_cpus"]; ok {
+		if f, fok := v.AsFloat(); fok {
+			h.CPUs = int(f)
+		}
+	}
+	if v, ok := m["host_zone"]; ok {
+		h.Zone = v.Str()
+	}
+	if v, ok := m["host_cost_per_cpu"]; ok {
+		h.Cost, _ = v.AsFloat()
+	}
+	if v, ok := m["host_is_batch"]; ok {
+		h.Batch = v.BoolVal()
+	}
+	if v, ok := m["host_vaults"]; ok && v.Kind() == attr.KindList {
+		for i := 0; i < v.Len(); i++ {
+			if l, err := loid.Parse(v.At(i).Str()); err == nil {
+				h.Vaults = append(h.Vaults, l)
+			}
+		}
+	}
+	return h
+}
+
+// usable filters hosts that have at least one compatible vault — a host
+// with no vault cannot run anything (objects need OPR storage).
+func usable(hosts []HostInfo) []HostInfo {
+	out := hosts[:0:0]
+	for _, h := range hosts {
+		if len(h.Vaults) > 0 {
+			out = append(out, h)
+		}
+	}
+	return out
+}

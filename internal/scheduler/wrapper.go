@@ -1,0 +1,115 @@
+package scheduler
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+
+	"legion/internal/loid"
+	"legion/internal/proto"
+	"legion/internal/sched"
+)
+
+// wrapperIDs mints request IDs for Wrapper-driven episodes. It starts
+// high so IDs never collide with an Enactor's own NewRequestID sequence
+// in the same process.
+var wrapperIDs atomic.Uint64
+
+func init() { wrapperIDs.Store(1 << 32) }
+
+// Wrapper drives a Generator through the Enactor with retry limits — the
+// Figure 9 IRS_Wrapper protocol, generalized to any Generator:
+//
+//	for i in 1 to SchedTryLimit:
+//	    sched = Gen_Placement(...)
+//	    for j in 1 to EnactTryLimit:
+//	        if make_reservations(sched) succeeded:
+//	            if enact_placement(sched) succeeded: return success
+//	return failure
+type Wrapper struct {
+	// SchedTryLimit bounds schedule generations; default 3.
+	SchedTryLimit int
+	// EnactTryLimit bounds reservation+enactment attempts per generated
+	// schedule; default 2.
+	EnactTryLimit int
+}
+
+// Outcome reports one Wrapper run.
+type Outcome struct {
+	// Success is true when some schedule was reserved and enacted.
+	Success bool
+	// RequestID identifies the winning episode at the Enactor.
+	RequestID uint64
+	// Feedback is the winning (or last failing) reservation feedback.
+	Feedback sched.Feedback
+	// Instances are the created objects per resolved mapping.
+	Instances [][]loid.LOID
+	// SchedAttempts and EnactAttempts count work performed.
+	SchedAttempts int
+	EnactAttempts int
+}
+
+// Run executes the retry protocol, calling the Enactor through the orb
+// (so the Enactor may be remote or replaced — Figure 2's layering
+// freedom).
+func (w Wrapper) Run(ctx context.Context, env *Env, enactorL loid.LOID, gen Generator, req Request) (Outcome, error) {
+	schedLimit := w.SchedTryLimit
+	if schedLimit <= 0 {
+		schedLimit = 3
+	}
+	enactLimit := w.EnactTryLimit
+	if enactLimit <= 0 {
+		enactLimit = 2
+	}
+
+	var out Outcome
+	var lastErr error
+	for i := 0; i < schedLimit; i++ {
+		out.SchedAttempts++
+		request, err := gen.Generate(ctx, env, req)
+		if err != nil {
+			lastErr = err
+			continue // transient resource shortage: regenerate
+		}
+		for j := 0; j < enactLimit; j++ {
+			out.EnactAttempts++
+			request.ID = wrapperIDs.Add(1)
+			res, err := env.RT.Call(ctx, enactorL, proto.MethodMakeReservations,
+				proto.MakeReservationsArgs{Request: request})
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			fb := res.(proto.FeedbackReply).Feedback
+			out.Feedback = fb
+			if !fb.Success {
+				lastErr = fmt.Errorf("scheduler: %s: %s", fb.Reason, fb.Detail)
+				// Malformed schedules will not improve with retries of
+				// the same schedule; resources might.
+				if fb.Reason == sched.FailureMalformed {
+					break
+				}
+				continue
+			}
+			eres, err := env.RT.Call(ctx, enactorL, proto.MethodEnactSchedule,
+				proto.EnactScheduleArgs{RequestID: request.ID})
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			reply := eres.(proto.EnactReply)
+			if reply.Success {
+				out.Success = true
+				out.RequestID = request.ID
+				out.Instances = reply.Instances
+				return out, nil
+			}
+			lastErr = fmt.Errorf("scheduler: enactment failed: %s", reply.Detail)
+		}
+	}
+	if lastErr == nil {
+		lastErr = ErrExhausted
+	}
+	return out, fmt.Errorf("%w (after %d schedules, %d enact attempts): %v",
+		ErrExhausted, out.SchedAttempts, out.EnactAttempts, lastErr)
+}

@@ -1,0 +1,293 @@
+// Package sim builds synthetic metacomputing environments and workloads
+// for the experiments in EXPERIMENTS.md.
+//
+// The paper evaluated Legion on a real multi-site testbed (Unix
+// workstations, MPPs, batch-managed clusters). That environment is not
+// available, so sim provides the closest synthetic equivalent: fleets of
+// heterogeneous Host objects (mixed architectures, OSes, CPU counts,
+// zones, costs, batch queues) whose background load evolves under
+// configurable stochastic processes, plus the workload families the
+// paper's §4.3 names — bags of independent tasks, MPI-style 2-D stencil
+// applications, and parameter-space studies. The RMI code path exercised
+// is exactly the production one; only the machine behind each Host is
+// synthetic.
+package sim
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"time"
+
+	"legion/internal/core"
+	"legion/internal/host"
+	"legion/internal/loid"
+	"legion/internal/sched"
+	"legion/internal/vault"
+)
+
+// HostSpec describes one synthetic machine.
+type HostSpec struct {
+	Arch     string
+	OS       string
+	OSVer    string
+	CPUs     int
+	MemoryMB int
+	Zone     string
+	Cost     float64
+	// Speed is a relative per-CPU speed factor used by the makespan
+	// model; 1.0 is the baseline machine.
+	Speed float64
+	// Load is the initial background load.
+	Load float64
+	// MaxShared overrides the host's timesharing multiplex bound
+	// (0 keeps the host default of 4x CPUs).
+	MaxShared int
+}
+
+// archetypes is a small catalogue of late-1990s machine types, matching
+// the paper's era (IRIX workstations, Solaris servers, Linux PCs, AIX
+// nodes behind LoadLeveler).
+var archetypes = []HostSpec{
+	{Arch: "mips", OS: "IRIX", OSVer: "5.3", CPUs: 2, MemoryMB: 256, Speed: 0.8, Cost: 2.0},
+	{Arch: "mips", OS: "IRIX", OSVer: "6.5", CPUs: 4, MemoryMB: 512, Speed: 1.0, Cost: 2.5},
+	{Arch: "sparc", OS: "Solaris", OSVer: "2.6", CPUs: 8, MemoryMB: 1024, Speed: 1.2, Cost: 3.0},
+	{Arch: "x86", OS: "Linux", OSVer: "2.2", CPUs: 1, MemoryMB: 128, Speed: 0.9, Cost: 0.5},
+	{Arch: "x86", OS: "Linux", OSVer: "2.2", CPUs: 2, MemoryMB: 256, Speed: 1.1, Cost: 0.7},
+	{Arch: "rs6000", OS: "AIX", OSVer: "4.3", CPUs: 16, MemoryMB: 2048, Speed: 1.5, Cost: 4.0},
+}
+
+// RandomSpecs draws n host specs from the archetype catalogue with
+// randomized initial load, spread across the given zones.
+func RandomSpecs(rng *rand.Rand, n int, zones ...string) []HostSpec {
+	if len(zones) == 0 {
+		zones = []string{"z1"}
+	}
+	specs := make([]HostSpec, n)
+	for i := range specs {
+		s := archetypes[rng.Intn(len(archetypes))]
+		s.Zone = zones[rng.Intn(len(zones))]
+		s.Load = 0.1 + 0.5*rng.Float64()
+		specs[i] = s
+	}
+	return specs
+}
+
+// UniformSpecs builds n identical Linux/x86 hosts — the homogeneous
+// baseline fleet.
+func UniformSpecs(n int, cpus int) []HostSpec {
+	specs := make([]HostSpec, n)
+	for i := range specs {
+		specs[i] = HostSpec{Arch: "x86", OS: "Linux", OSVer: "2.2",
+			CPUs: cpus, MemoryMB: 1024, Zone: "z1", Speed: 1.0, Cost: 1.0}
+	}
+	return specs
+}
+
+// Fleet is a built synthetic metasystem.
+type Fleet struct {
+	MS    *core.Metasystem
+	Hosts []*host.Host
+	Specs []HostSpec
+	index map[loid.LOID]int
+	procs []LoadProcess
+	rng   *rand.Rand
+}
+
+// Build constructs hosts (one per spec) in the metasystem, with one
+// shared vault per zone.
+func Build(ms *core.Metasystem, rng *rand.Rand, specs []HostSpec) *Fleet {
+	f := &Fleet{MS: ms, Specs: specs, index: make(map[loid.LOID]int), rng: rng}
+	vaults := make(map[string]loid.LOID)
+	for _, s := range specs {
+		if _, ok := vaults[s.Zone]; !ok {
+			v := ms.AddVault(vault.Config{Zone: s.Zone})
+			vaults[s.Zone] = v.LOID()
+		}
+	}
+	for i, s := range specs {
+		h := ms.AddHost(host.Config{
+			Arch: s.Arch, OS: s.OS, OSVersion: s.OSVer,
+			CPUs: s.CPUs, MemoryMB: s.MemoryMB, Zone: s.Zone,
+			CostPerCPU: s.Cost,
+			MaxShared:  s.MaxShared,
+			Vaults:     []loid.LOID{vaults[s.Zone]},
+		})
+		h.SetExternalLoad(s.Load)
+		h.Reassess(context.Background())
+		f.Hosts = append(f.Hosts, h)
+		f.index[h.LOID()] = i
+		f.procs = append(f.procs, nil)
+	}
+	return f
+}
+
+// SpecOf returns the spec of the host with the given LOID.
+func (f *Fleet) SpecOf(l loid.LOID) (HostSpec, bool) {
+	i, ok := f.index[l]
+	if !ok {
+		return HostSpec{}, false
+	}
+	return f.Specs[i], true
+}
+
+// LoadProcess evolves one host's background load per step.
+type LoadProcess interface {
+	Next(rng *rand.Rand, current float64) float64
+}
+
+// RandomWalk perturbs load by a uniform step in [-Step, +Step], clamped
+// to [Min, Max].
+type RandomWalk struct {
+	Step     float64
+	Min, Max float64
+}
+
+// Next implements LoadProcess.
+func (w RandomWalk) Next(rng *rand.Rand, cur float64) float64 {
+	nxt := cur + (rng.Float64()*2-1)*w.Step
+	return math.Max(w.Min, math.Min(w.Max, nxt))
+}
+
+// Sinusoid models daily-cycle load: it ignores the current value and
+// follows Base + Amp*sin(phase), advancing by Omega per step.
+type Sinusoid struct {
+	Base, Amp, Omega float64
+	phase            float64
+}
+
+// Next implements LoadProcess.
+func (s *Sinusoid) Next(_ *rand.Rand, _ float64) float64 {
+	s.phase += s.Omega
+	v := s.Base + s.Amp*math.Sin(s.phase)
+	return math.Max(0, v)
+}
+
+// Spiky stays at Quiet load but jumps to Spike with probability P per
+// step — the overload events the Monitor experiments need.
+type Spiky struct {
+	Quiet, Spike, P float64
+}
+
+// Next implements LoadProcess.
+func (s Spiky) Next(rng *rand.Rand, _ float64) float64 {
+	if rng.Float64() < s.P {
+		return s.Spike
+	}
+	return s.Quiet
+}
+
+// SetProcess attaches a load process to host i.
+func (f *Fleet) SetProcess(i int, p LoadProcess) { f.procs[i] = p }
+
+// SetAllProcesses attaches a process factory to every host.
+func (f *Fleet) SetAllProcesses(mk func(i int) LoadProcess) {
+	for i := range f.procs {
+		f.procs[i] = mk(i)
+	}
+}
+
+// Step advances every host's background load one tick and reassesses
+// (pushing fresh state to the Collection and evaluating triggers).
+func (f *Fleet) Step(ctx context.Context) {
+	for i, h := range f.Hosts {
+		if f.procs[i] != nil {
+			h.SetExternalLoad(f.procs[i].Next(f.rng, h.Load()))
+		}
+		h.Reassess(ctx)
+	}
+}
+
+// --- Placement quality metrics ---
+
+// TaskCounts tallies mappings per host.
+func TaskCounts(mappings []sched.Mapping) map[loid.LOID]int {
+	m := make(map[loid.LOID]int)
+	for _, mp := range mappings {
+		m[mp.Host]++
+	}
+	return m
+}
+
+// Makespan estimates completion time for equal-size tasks of the given
+// duration under the fleet's speed/load model: each host processes its
+// assigned tasks across its CPUs at speed Speed/(1+load).
+func (f *Fleet) Makespan(mappings []sched.Mapping, taskDur time.Duration) time.Duration {
+	var worst time.Duration
+	for hostL, n := range TaskCounts(mappings) {
+		i, ok := f.index[hostL]
+		if !ok {
+			continue
+		}
+		s := f.Specs[i]
+		cpus := s.CPUs
+		if cpus < 1 {
+			cpus = 1
+		}
+		speed := s.Speed
+		if speed <= 0 {
+			speed = 1
+		}
+		load := f.Hosts[i].Load()
+		waves := math.Ceil(float64(n) / float64(cpus))
+		t := time.Duration(waves * float64(taskDur) * (1 + load) / speed)
+		if t > worst {
+			worst = t
+		}
+	}
+	return worst
+}
+
+// Imbalance returns the coefficient max/mean of per-host task counts
+// normalized by CPUs; 1.0 is perfectly balanced.
+func (f *Fleet) Imbalance(mappings []sched.Mapping) float64 {
+	counts := TaskCounts(mappings)
+	if len(counts) == 0 {
+		return 0
+	}
+	var weights []float64
+	var sum float64
+	for hostL, n := range counts {
+		i, ok := f.index[hostL]
+		if !ok {
+			continue
+		}
+		cpus := f.Specs[i].CPUs
+		if cpus < 1 {
+			cpus = 1
+		}
+		w := float64(n) / float64(cpus)
+		weights = append(weights, w)
+		sum += w
+	}
+	if len(weights) == 0 || sum == 0 {
+		return 0
+	}
+	mean := sum / float64(len(weights))
+	maxW := 0.0
+	for _, w := range weights {
+		maxW = math.Max(maxW, w)
+	}
+	return maxW / mean
+}
+
+// CrossZoneFraction is the share of mappings landing outside the
+// majority zone — a locality measure for co-allocation experiments.
+func (f *Fleet) CrossZoneFraction(mappings []sched.Mapping) float64 {
+	if len(mappings) == 0 {
+		return 0
+	}
+	zones := make(map[string]int)
+	for _, m := range mappings {
+		if s, ok := f.SpecOf(m.Host); ok {
+			zones[s.Zone]++
+		}
+	}
+	best := 0
+	for _, n := range zones {
+		if n > best {
+			best = n
+		}
+	}
+	return 1 - float64(best)/float64(len(mappings))
+}

@@ -1,0 +1,265 @@
+package sim
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"legion/internal/core"
+	"legion/internal/loid"
+	"legion/internal/sched"
+)
+
+func buildTestFleet(t *testing.T, specs []HostSpec) *Fleet {
+	t.Helper()
+	ms := core.New("uva", core.Options{Seed: 7})
+	return Build(ms, rand.New(rand.NewSource(7)), specs)
+}
+
+func TestBuildFleet(t *testing.T) {
+	f := buildTestFleet(t, RandomSpecs(rand.New(rand.NewSource(1)), 10, "z1", "z2"))
+	if len(f.Hosts) != 10 {
+		t.Fatalf("hosts: %d", len(f.Hosts))
+	}
+	// One vault per zone, hosts joined the Collection.
+	if n := len(f.MS.Vaults()); n < 1 || n > 2 {
+		t.Errorf("vaults: %d", n)
+	}
+	if f.MS.Collection.Size() != 10 {
+		t.Errorf("collection: %d", f.MS.Collection.Size())
+	}
+	for _, h := range f.Hosts {
+		if s, ok := f.SpecOf(h.LOID()); !ok || s.CPUs < 1 {
+			t.Errorf("SpecOf(%v) = %+v %v", h.LOID(), s, ok)
+		}
+	}
+	if _, ok := f.SpecOf(loid.LOID{Domain: "x", Class: "Host", Instance: 1}); ok {
+		t.Error("SpecOf unknown host")
+	}
+}
+
+func TestUniformSpecs(t *testing.T) {
+	specs := UniformSpecs(5, 4)
+	if len(specs) != 5 || specs[0].CPUs != 4 || specs[0].Arch != "x86" {
+		t.Errorf("specs: %+v", specs[0])
+	}
+}
+
+func TestLoadProcesses(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	w := RandomWalk{Step: 0.1, Min: 0, Max: 1}
+	cur := 0.5
+	for i := 0; i < 1000; i++ {
+		cur = w.Next(rng, cur)
+		if cur < 0 || cur > 1 {
+			t.Fatalf("walk escaped bounds: %v", cur)
+		}
+	}
+	s := &Sinusoid{Base: 0.5, Amp: 0.3, Omega: 0.1}
+	lo, hi := 1.0, 0.0
+	for i := 0; i < 200; i++ {
+		v := s.Next(rng, 0)
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if lo > 0.25 || hi < 0.75 {
+		t.Errorf("sinusoid range [%v, %v]", lo, hi)
+	}
+	sp := Spiky{Quiet: 0.1, Spike: 0.9, P: 0.5}
+	spikes := 0
+	for i := 0; i < 1000; i++ {
+		if sp.Next(rng, 0) == 0.9 {
+			spikes++
+		}
+	}
+	if spikes < 400 || spikes > 600 {
+		t.Errorf("spike count: %d", spikes)
+	}
+}
+
+func TestStepEvolvesLoadAndPushes(t *testing.T) {
+	f := buildTestFleet(t, UniformSpecs(3, 4))
+	f.SetAllProcesses(func(i int) LoadProcess {
+		return Spiky{Quiet: 0.9, Spike: 0.9, P: 1} // deterministic high load
+	})
+	f.Step(context.Background())
+	recs, err := f.MS.Collection.Query("$host_load > 0.8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Errorf("pushed loads: %d records", len(recs))
+	}
+	// Per-host process override.
+	f.SetProcess(0, Spiky{Quiet: 0.0, Spike: 0.0, P: 0})
+	f.Step(context.Background())
+	if f.Hosts[0].Load() != 0 {
+		t.Errorf("host 0 load: %v", f.Hosts[0].Load())
+	}
+}
+
+func mappingsOn(hosts []loid.LOID, counts []int) []sched.Mapping {
+	var out []sched.Mapping
+	cl := loid.LOID{Domain: "uva", Class: "C", Instance: 1}
+	vl := loid.LOID{Domain: "uva", Class: "V", Instance: 1}
+	for i, h := range hosts {
+		for j := 0; j < counts[i]; j++ {
+			out = append(out, sched.Mapping{Class: cl, Host: h, Vault: vl})
+		}
+	}
+	return out
+}
+
+func TestMakespanModel(t *testing.T) {
+	f := buildTestFleet(t, []HostSpec{
+		{Arch: "x86", OS: "Linux", CPUs: 4, MemoryMB: 512, Zone: "z1", Speed: 1.0},
+		{Arch: "x86", OS: "Linux", CPUs: 1, MemoryMB: 512, Zone: "z1", Speed: 1.0},
+	})
+	h0, h1 := f.Hosts[0].LOID(), f.Hosts[1].LOID()
+	task := time.Second
+
+	// 4 tasks on the 4-CPU idle host: one wave -> 1s.
+	ms := f.Makespan(mappingsOn([]loid.LOID{h0}, []int{4}), task)
+	if ms != time.Second {
+		t.Errorf("one wave: %v", ms)
+	}
+	// 5 tasks: two waves -> 2s.
+	ms = f.Makespan(mappingsOn([]loid.LOID{h0}, []int{5}), task)
+	if ms != 2*time.Second {
+		t.Errorf("two waves: %v", ms)
+	}
+	// 2 tasks on the 1-CPU host: 2 waves -> 2s, dominating 4 on h0.
+	ms = f.Makespan(mappingsOn([]loid.LOID{h0, h1}, []int{4, 2}), task)
+	if ms != 2*time.Second {
+		t.Errorf("bottleneck host: %v", ms)
+	}
+	// Load slows things: load 1.0 doubles the time.
+	f.Hosts[0].SetExternalLoad(1.0)
+	ms = f.Makespan(mappingsOn([]loid.LOID{h0}, []int{4}), task)
+	if ms != 2*time.Second {
+		t.Errorf("loaded: %v", ms)
+	}
+}
+
+func TestImbalance(t *testing.T) {
+	f := buildTestFleet(t, UniformSpecs(2, 4))
+	h0, h1 := f.Hosts[0].LOID(), f.Hosts[1].LOID()
+	// Balanced: 2 and 2 on equal hosts.
+	if im := f.Imbalance(mappingsOn([]loid.LOID{h0, h1}, []int{2, 2})); im != 1.0 {
+		t.Errorf("balanced imbalance: %v", im)
+	}
+	// Skewed: 6 and 2 -> max/mean = 6/4 = 1.5.
+	if im := f.Imbalance(mappingsOn([]loid.LOID{h0, h1}, []int{6, 2})); im != 1.5 {
+		t.Errorf("skewed imbalance: %v", im)
+	}
+	if im := f.Imbalance(nil); im != 0 {
+		t.Errorf("empty imbalance: %v", im)
+	}
+}
+
+func TestCrossZoneFraction(t *testing.T) {
+	f := buildTestFleet(t, []HostSpec{
+		{Arch: "x86", OS: "Linux", CPUs: 4, MemoryMB: 512, Zone: "z1", Speed: 1},
+		{Arch: "x86", OS: "Linux", CPUs: 4, MemoryMB: 512, Zone: "z1", Speed: 1},
+		{Arch: "x86", OS: "Linux", CPUs: 4, MemoryMB: 512, Zone: "z2", Speed: 1},
+	})
+	h := []loid.LOID{f.Hosts[0].LOID(), f.Hosts[1].LOID(), f.Hosts[2].LOID()}
+	// 3 in z1, 1 in z2 -> 0.25 cross-zone.
+	if cz := f.CrossZoneFraction(mappingsOn(h, []int{2, 1, 1})); cz != 0.25 {
+		t.Errorf("cross-zone: %v", cz)
+	}
+	if cz := f.CrossZoneFraction(nil); cz != 0 {
+		t.Errorf("empty: %v", cz)
+	}
+}
+
+func TestTaskCounts(t *testing.T) {
+	f := buildTestFleet(t, UniformSpecs(2, 4))
+	h0, h1 := f.Hosts[0].LOID(), f.Hosts[1].LOID()
+	counts := TaskCounts(mappingsOn([]loid.LOID{h0, h1}, []int{3, 1}))
+	if counts[h0] != 3 || counts[h1] != 1 {
+		t.Errorf("counts: %v", counts)
+	}
+}
+
+func TestRandomSpecsProperties(t *testing.T) {
+	specs := RandomSpecs(rand.New(rand.NewSource(3)), 50, "z1", "z2", "z3")
+	zones := map[string]bool{}
+	for _, s := range specs {
+		if s.CPUs < 1 || s.MemoryMB < 64 || s.Speed <= 0 {
+			t.Errorf("bad spec: %+v", s)
+		}
+		if s.Load < 0.1 || s.Load > 0.6 {
+			t.Errorf("load out of range: %v", s.Load)
+		}
+		zones[s.Zone] = true
+	}
+	if len(zones) < 2 {
+		t.Errorf("zones used: %v", zones)
+	}
+	// Defaults to z1 with no zones given.
+	specs = RandomSpecs(rand.New(rand.NewSource(3)), 3)
+	for _, s := range specs {
+		if s.Zone != "z1" {
+			t.Errorf("default zone: %q", s.Zone)
+		}
+	}
+}
+
+func TestWorkloadBuilders(t *testing.T) {
+	class := loid.LOID{Domain: "uva", Class: "WorkerClass", Instance: 1}
+	bot := BagOfTasks(class, 16, time.Second)
+	if bot.Request.TotalInstances() != 16 || bot.IsGrid() {
+		t.Errorf("bag: %+v", bot)
+	}
+	st := StencilApp(class, 4, 5, time.Second)
+	if st.Request.TotalInstances() != 20 || !st.IsGrid() || st.GridRows != 4 {
+		t.Errorf("stencil: %+v", st)
+	}
+	rng := rand.New(rand.NewSource(1))
+	ps, durs := ParamSweep(class, 10, time.Second, 3*time.Second, rng)
+	if ps.Request.TotalInstances() != 10 || len(durs) != 10 {
+		t.Fatalf("sweep: %+v %v", ps, durs)
+	}
+	for _, d := range durs {
+		if d < time.Second || d > 3*time.Second {
+			t.Errorf("duration out of range: %v", d)
+		}
+	}
+	if ps.TaskDuration < time.Second || ps.TaskDuration > 3*time.Second {
+		t.Errorf("mean duration: %v", ps.TaskDuration)
+	}
+}
+
+func TestWeightedMakespan(t *testing.T) {
+	f := buildTestFleet(t, UniformSpecs(2, 4)) // 4 CPUs, speed 1, load 0
+	h0, h1 := f.Hosts[0].LOID(), f.Hosts[1].LOID()
+	cl := loid.LOID{Domain: "uva", Class: "C", Instance: 1}
+	vl := loid.LOID{Domain: "uva", Class: "V", Instance: 1}
+	maps := []sched.Mapping{
+		{Class: cl, Host: h0, Vault: vl},
+		{Class: cl, Host: h0, Vault: vl},
+		{Class: cl, Host: h1, Vault: vl},
+	}
+	durs := []time.Duration{8 * time.Second, 4 * time.Second, 40 * time.Second}
+	// Host0: 12s of work over 4 cpus = 3s; host1: 40s/4 = 10s -> 10s.
+	if got := f.WeightedMakespan(maps, durs); got != 10*time.Second {
+		t.Errorf("weighted makespan = %v", got)
+	}
+	// Load slows the bottleneck host.
+	f.Hosts[1].SetExternalLoad(1.0)
+	if got := f.WeightedMakespan(maps, durs); got != 20*time.Second {
+		t.Errorf("loaded weighted makespan = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched lengths should panic")
+		}
+	}()
+	f.WeightedMakespan(maps, durs[:1])
+}

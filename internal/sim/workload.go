@@ -1,0 +1,131 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"legion/internal/loid"
+	"legion/internal/sched"
+	"legion/internal/scheduler"
+)
+
+// Workload describes one application family from the paper's §4.3
+// ("MPI-based or PVM-based simulations, parameter space studies, and
+// other modeling applications") as a placement request plus the metadata
+// experiments need to judge the placement.
+type Workload struct {
+	// Name labels the workload in reports.
+	Name string
+	// Request is the placement problem handed to a Generator.
+	Request scheduler.Request
+	// TaskDuration is the per-task compute time for the makespan model.
+	TaskDuration time.Duration
+	// GridRows/GridCols are non-zero for stencil workloads (edge-cut
+	// metrics apply).
+	GridRows, GridCols int
+}
+
+// IsGrid reports whether the workload has stencil structure.
+func (w Workload) IsGrid() bool { return w.GridRows > 0 && w.GridCols > 0 }
+
+// defaultSpec is the reservation shape workloads use unless overridden.
+func defaultSpec() sched.ReservationSpec {
+	return sched.ReservationSpec{Share: true, Reuse: true, Duration: time.Hour}
+}
+
+// BagOfTasks builds an embarrassingly-parallel workload: n independent
+// instances of one class.
+func BagOfTasks(class loid.LOID, n int, taskDur time.Duration) Workload {
+	return Workload{
+		Name: fmt.Sprintf("bag-of-tasks(%d)", n),
+		Request: scheduler.Request{
+			Classes: []scheduler.ClassRequest{{Class: class, Count: n}},
+			Res:     defaultSpec(),
+		},
+		TaskDuration: taskDur,
+	}
+}
+
+// StencilApp builds a rows x cols nearest-neighbour grid application —
+// the §4.3 MPI ocean-simulation shape.
+func StencilApp(class loid.LOID, rows, cols int, stepDur time.Duration) Workload {
+	return Workload{
+		Name: fmt.Sprintf("stencil(%dx%d)", rows, cols),
+		Request: scheduler.Request{
+			Classes: []scheduler.ClassRequest{{Class: class, Count: rows * cols}},
+			Res:     defaultSpec(),
+		},
+		TaskDuration: stepDur,
+		GridRows:     rows,
+		GridCols:     cols,
+	}
+}
+
+// ParamSweep builds a parameter-space study: points independent tasks
+// with randomized per-task durations in [minDur, maxDur] (study points
+// vary in cost); the returned durations align with the request's
+// instance order.
+func ParamSweep(class loid.LOID, points int, minDur, maxDur time.Duration, rng *rand.Rand) (Workload, []time.Duration) {
+	durs := make([]time.Duration, points)
+	span := int64(maxDur - minDur)
+	var total time.Duration
+	for i := range durs {
+		d := minDur
+		if span > 0 {
+			d += time.Duration(rng.Int63n(span + 1))
+		}
+		durs[i] = d
+		total += d
+	}
+	mean := time.Duration(0)
+	if points > 0 {
+		mean = total / time.Duration(points)
+	}
+	return Workload{
+		Name: fmt.Sprintf("param-sweep(%d)", points),
+		Request: scheduler.Request{
+			Classes: []scheduler.ClassRequest{{Class: class, Count: points}},
+			Res:     defaultSpec(),
+		},
+		TaskDuration: mean,
+	}, durs
+}
+
+// WeightedMakespan is Makespan generalized to per-task durations: task i
+// (in mapping order) costs durs[i]. Each host's tasks are processed
+// greedily across its CPUs at speed Speed/(1+load) — an LPT-free but
+// deterministic model adequate for scheduler-shape comparisons.
+func (f *Fleet) WeightedMakespan(mappings []sched.Mapping, durs []time.Duration) time.Duration {
+	if len(mappings) != len(durs) {
+		panic("sim: durations do not match mappings")
+	}
+	// Sum work per host, then divide by capacity: a fluid approximation
+	// that preserves ordering between placements.
+	work := map[loid.LOID]time.Duration{}
+	for i, m := range mappings {
+		work[m.Host] += durs[i]
+	}
+	var worst time.Duration
+	for hostL, w := range work {
+		i, ok := f.index[hostL]
+		if !ok {
+			continue
+		}
+		s := f.Specs[i]
+		cpus := s.CPUs
+		if cpus < 1 {
+			cpus = 1
+		}
+		speed := s.Speed
+		if speed <= 0 {
+			speed = 1
+		}
+		load := f.Hosts[i].Load()
+		t := time.Duration(float64(w) * (1 + load) / (float64(cpus) * speed))
+		if t > worst {
+			worst = t
+		}
+	}
+	return worst
+}
