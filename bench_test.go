@@ -12,6 +12,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"sync"
 	"testing"
 	"time"
 
@@ -27,6 +28,7 @@ import (
 	"legion/internal/proto"
 	"legion/internal/query"
 	"legion/internal/reservation"
+	"legion/internal/resilient"
 	"legion/internal/sched"
 	"legion/internal/scheduler"
 	"legion/internal/sim"
@@ -683,5 +685,71 @@ func BenchmarkE5_NetworkObjects(b *testing.B) {
 func BenchmarkE6_MonitoredRebalancing(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		_ = experiments.E6MonitoredRebalancing(20)
+	}
+}
+
+// BenchmarkE7_PlacementUnderFaults measures the full placement pipeline
+// with a fraction of calls failing as injected transport faults — the
+// resilience layer's retry/breaker cost and effectiveness. Success rate
+// is reported as a metric; time/op includes retries and backoff.
+func BenchmarkE7_PlacementUnderFaults(b *testing.B) {
+	for _, rate := range []float64{0, 0.05, 0.20} {
+		b.Run(fmt.Sprintf("faults=%.0f%%", rate*100), func(b *testing.B) {
+			ms := core.New("uva", core.Options{Seed: 1, Retry: resilient.Policy{
+				MaxAttempts:    4,
+				BaseDelay:      time.Millisecond,
+				Budget:         10 * time.Second,
+				AttemptTimeout: 5 * time.Second,
+			}})
+			defer ms.Close()
+			v := ms.AddVault(vault.Config{Zone: "z1"})
+			for i := 0; i < 4; i++ {
+				ms.AddHost(host.Config{
+					Arch: "x86", OS: "Linux", OSVersion: "2.2",
+					CPUs: 8, MemoryMB: 1024, Zone: "z1",
+					MaxShared: 1024,
+					Vaults:    []loid.LOID{v.LOID()},
+				})
+			}
+			class := ms.DefineClass("Worker", nil)
+			ctx := context.Background()
+			req := scheduler.Request{
+				Classes: []scheduler.ClassRequest{{Class: class.LOID(), Count: 3}},
+				Res:     shareSpec(),
+			}
+			rng := rand.New(rand.NewSource(1999))
+			var mu sync.Mutex
+			if rate > 0 {
+				ms.Runtime().SetFaultInjector(func(target loid.LOID, method string) error {
+					mu.Lock()
+					defer mu.Unlock()
+					if rng.Float64() < rate {
+						return fmt.Errorf("%w: flaky link", orb.ErrInjectedFault)
+					}
+					return nil
+				})
+				defer ms.Runtime().SetFaultInjector(nil)
+			}
+			placed := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				out, err := ms.PlaceApplicationLimits(ctx, scheduler.IRS{NSched: 3}, req,
+					scheduler.Wrapper{SchedTryLimit: 4, EnactTryLimit: 2})
+				if err != nil || !out.Success {
+					continue
+				}
+				placed++
+				b.StopTimer()
+				for j, insts := range out.Instances {
+					for _, inst := range insts {
+						_, _ = ms.Runtime().Call(ctx, out.Feedback.Resolved[j].Class,
+							proto.MethodDestroyInstance, proto.ObjectArgs{Object: inst})
+					}
+				}
+				ms.Enactor.CancelReservations(ctx, out.RequestID)
+				b.StartTimer()
+			}
+			b.ReportMetric(100*float64(placed)/float64(b.N), "success-%")
+		})
 	}
 }

@@ -24,6 +24,10 @@ type experiment struct {
 	run   func() *experiments.Table
 }
 
+// faultRates are the injected-fault rates E7 sweeps; -faultrate narrows
+// the sweep to a single rate.
+var faultRates = []float64{0, 0.05, 0.20}
+
 func catalogue() []experiment {
 	return []experiment{
 		{"T1", "Host interface per-op latency (Table 1)", func() *experiments.Table {
@@ -77,6 +81,9 @@ func catalogue() []experiment {
 		{"E6", "Monitored rebalancing vs static", func() *experiments.Table {
 			return experiments.E6MonitoredRebalancing(40)
 		}},
+		{"E7", "Placement under injected faults (resilience layer)", func() *experiments.Table {
+			return experiments.E7FaultRateResilience(20, faultRates)
+		}},
 		{"A1", "Ablation: variants vs regenerate", func() *experiments.Table {
 			return experiments.A1VariantVsRegenerate(30, 3)
 		}},
@@ -94,10 +101,14 @@ func catalogue() []experiment {
 
 func main() {
 	var (
-		run  = flag.String("run", "", "comma-separated experiment IDs (default: all)")
-		list = flag.Bool("list", false, "list experiment IDs and exit")
+		run       = flag.String("run", "", "comma-separated experiment IDs (default: all)")
+		list      = flag.Bool("list", false, "list experiment IDs and exit")
+		faultrate = flag.Float64("faultrate", -1, "inject this fraction of transport faults in E7 (0..1; default: sweep 0%, 5%, 20%)")
 	)
 	flag.Parse()
+	if *faultrate >= 0 {
+		faultRates = []float64{*faultrate}
+	}
 
 	cat := catalogue()
 	if *list {

@@ -7,6 +7,14 @@
 // JoinCollection for resources not yet members) on a set of Collections —
 // the pull half of the Collection population model, complementing the
 // Hosts' own push path.
+//
+// The pull loop is where resource failure becomes visible first, so the
+// daemon doubles as the failure detector: each probe runs under a retry
+// policy and a per-resource circuit breaker, successes heartbeat a
+// monitor.Liveness tracker, and an unreachable resource's Collection
+// records are not deleted but flagged (host_alive=false, host_state)
+// so schedulers can skip them while operators still see the last known
+// attributes — stale-but-flagged, never silently missing.
 package daemon
 
 import (
@@ -14,9 +22,20 @@ import (
 	"sync"
 	"time"
 
+	"legion/internal/attr"
 	"legion/internal/loid"
+	"legion/internal/monitor"
 	"legion/internal/orb"
 	"legion/internal/proto"
+	"legion/internal/resilient"
+)
+
+// Liveness attribute names deposited alongside pulled attributes.
+const (
+	// AttrAlive is false on records whose resource stopped answering.
+	AttrAlive = "host_alive"
+	// AttrState carries the monitor.LivenessState string.
+	AttrState = "host_state"
 )
 
 // Config parameterizes a Daemon.
@@ -25,20 +44,35 @@ type Config struct {
 	Interval time.Duration
 	// Credential presented with Collection updates.
 	Credential string
-	// CallTimeout bounds each per-resource call; zero means 10 seconds.
+	// CallTimeout bounds each per-resource call (the whole retry budget
+	// for that probe); zero means 10 seconds.
 	CallTimeout time.Duration
+	// Retry shapes per-probe retries; the zero value means 2 attempts
+	// (one quick retry absorbs a blip without stretching the sweep).
+	Retry resilient.Policy
+	// Breaker shapes the per-resource circuit breaker.
+	Breaker resilient.BreakerConfig
+	// Liveness, when non-nil, is the tracker to feed; nil makes the
+	// daemon create its own (read it back via Liveness()).
+	Liveness *monitor.Liveness
+	// DownAfter consecutive probe failures flag the resource's records;
+	// zero means 2.
+	DownAfter int
 }
 
 // Daemon pulls attribute snapshots from resources and pushes them into
 // Collections.
 type Daemon struct {
-	rt  *orb.Runtime
-	cfg Config
+	rt   *orb.Runtime
+	cfg  Config
+	call *resilient.Caller
+	live *monitor.Liveness
 
 	mu          sync.Mutex
 	resources   []loid.LOID
 	collections []loid.LOID
 	joined      map[loid.LOID]bool
+	flagged     map[loid.LOID]bool // resources currently marked down
 	stop        chan struct{}
 	stopped     bool
 	sweeps      int64
@@ -53,13 +87,34 @@ func New(rt *orb.Runtime, cfg Config) *Daemon {
 	if cfg.CallTimeout <= 0 {
 		cfg.CallTimeout = 10 * time.Second
 	}
+	if cfg.Retry.MaxAttempts <= 0 {
+		cfg.Retry.MaxAttempts = 2
+	}
+	if cfg.Retry.Budget <= 0 {
+		cfg.Retry.Budget = cfg.CallTimeout
+	}
+	if cfg.DownAfter <= 0 {
+		cfg.DownAfter = 2
+	}
+	if cfg.Liveness == nil {
+		cfg.Liveness = monitor.NewLiveness(3*cfg.Interval, cfg.DownAfter)
+	}
 	return &Daemon{
-		rt:     rt,
-		cfg:    cfg,
-		joined: make(map[loid.LOID]bool),
-		stop:   make(chan struct{}),
+		rt:      rt,
+		cfg:     cfg,
+		call:    resilient.NewCaller(rt, cfg.Retry, cfg.Breaker),
+		live:    cfg.Liveness,
+		joined:  make(map[loid.LOID]bool),
+		flagged: make(map[loid.LOID]bool),
+		stop:    make(chan struct{}),
 	}
 }
+
+// Liveness returns the tracker the daemon feeds.
+func (d *Daemon) Liveness() *monitor.Liveness { return d.live }
+
+// Breakers exposes the daemon's per-resource breaker states.
+func (d *Daemon) Breakers() *resilient.BreakerSet { return d.call.Breakers() }
 
 // Watch adds resources to pull from.
 func (d *Daemon) Watch(resources ...loid.LOID) {
@@ -76,7 +131,11 @@ func (d *Daemon) PushInto(collections ...loid.LOID) {
 }
 
 // Sweep performs one pull-and-push pass synchronously and reports how
-// many (resource, collection) deposits succeeded.
+// many (resource, collection) deposits succeeded. Unreachable resources
+// do not stall the sweep: the probe fails inside its retry budget (or
+// instantly once its breaker opens), the failure feeds the liveness
+// tracker, and on crossing the down threshold the resource's records in
+// every Collection are flagged down in place.
 func (d *Daemon) Sweep(ctx context.Context) int {
 	d.mu.Lock()
 	resources := append([]loid.LOID(nil), d.resources...)
@@ -87,21 +146,27 @@ func (d *Daemon) Sweep(ctx context.Context) int {
 	ok := 0
 	for _, res := range resources {
 		cctx, cancel := context.WithTimeout(ctx, d.cfg.CallTimeout)
-		reply, err := d.rt.Call(cctx, res, proto.MethodGetAttributes, nil)
+		reply, err := d.call.Call(cctx, res, proto.MethodGetAttributes, nil)
 		cancel()
-		if err != nil {
-			d.mu.Lock()
-			d.errors++
-			d.mu.Unlock()
-			continue // a dead resource must not stall the sweep
-		}
 		attrs, isAttrs := reply.(proto.AttributesReply)
-		if !isAttrs {
+		if err != nil || !isAttrs {
 			d.mu.Lock()
 			d.errors++
 			d.mu.Unlock()
+			d.live.Fail(res)
+			if d.live.State(res) == monitor.LivenessDown {
+				d.flagDown(ctx, res, collections)
+			}
 			continue
 		}
+		d.live.Beat(res)
+		d.mu.Lock()
+		d.flagged[res] = false // the deposit below re-marks alive=true
+		d.mu.Unlock()
+		attrs.Attrs = append(attrs.Attrs,
+			attr.Pair{Name: AttrAlive, Value: attr.Bool(true)},
+			attr.Pair{Name: AttrState, Value: attr.String(d.live.State(res).String())},
+		)
 		for _, coll := range collections {
 			if d.deposit(ctx, coll, res, attrs) {
 				ok++
@@ -111,16 +176,59 @@ func (d *Daemon) Sweep(ctx context.Context) int {
 	return ok
 }
 
+// flagDown marks a dead resource's records down in every Collection it
+// has joined: Update merges, so the stale attributes survive alongside
+// the flag for operators, while schedulers filter on host_alive.
+func (d *Daemon) flagDown(ctx context.Context, res loid.LOID, collections []loid.LOID) {
+	d.mu.Lock()
+	already := d.flagged[res]
+	d.flagged[res] = true
+	d.mu.Unlock()
+	if already {
+		return // records already say down; no traffic per sweep
+	}
+	flag := []attr.Pair{
+		{Name: AttrAlive, Value: attr.Bool(false)},
+		{Name: AttrState, Value: attr.String(monitor.LivenessDown.String())},
+	}
+	for _, coll := range collections {
+		if !d.hasJoined(coll, res) {
+			continue
+		}
+		cctx, cancel := context.WithTimeout(ctx, d.cfg.CallTimeout)
+		_, err := d.call.Call(cctx, coll, proto.MethodUpdateCollectionEntry,
+			proto.UpdateArgs{Member: res, Attrs: flag, Credential: d.cfg.Credential})
+		cancel()
+		if err != nil {
+			d.mu.Lock()
+			d.errors++
+			// Retry the flagging next sweep.
+			d.flagged[res] = false
+			d.mu.Unlock()
+		}
+	}
+}
+
+func (d *Daemon) joinKey(coll, res loid.LOID) loid.LOID {
+	return loid.LOID{Domain: coll.Domain, Class: coll.Class + "/" + res.String(), Instance: coll.Instance}
+}
+
+func (d *Daemon) hasJoined(coll, res loid.LOID) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.joined[d.joinKey(coll, res)]
+}
+
 // deposit pushes one snapshot, joining the member first if needed.
 func (d *Daemon) deposit(ctx context.Context, coll, res loid.LOID, attrs proto.AttributesReply) bool {
 	cctx, cancel := context.WithTimeout(ctx, d.cfg.CallTimeout)
 	defer cancel()
-	key := loid.LOID{Domain: coll.Domain, Class: coll.Class + "/" + res.String(), Instance: coll.Instance}
+	key := d.joinKey(coll, res)
 	d.mu.Lock()
 	alreadyJoined := d.joined[key]
 	d.mu.Unlock()
 	if !alreadyJoined {
-		_, err := d.rt.Call(cctx, coll, proto.MethodJoinCollection,
+		_, err := d.call.Call(cctx, coll, proto.MethodJoinCollection,
 			proto.JoinArgs{Joiner: res, Attrs: attrs.Attrs, Credential: d.cfg.Credential})
 		if err == nil {
 			d.mu.Lock()
@@ -133,7 +241,7 @@ func (d *Daemon) deposit(ctx context.Context, coll, res loid.LOID, attrs proto.A
 		d.mu.Unlock()
 		return false
 	}
-	_, err := d.rt.Call(cctx, coll, proto.MethodUpdateCollectionEntry,
+	_, err := d.call.Call(cctx, coll, proto.MethodUpdateCollectionEntry,
 		proto.UpdateArgs{Member: res, Attrs: attrs.Attrs, Credential: d.cfg.Credential})
 	if err != nil {
 		d.mu.Lock()

@@ -1,0 +1,154 @@
+package daemon
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"legion/internal/attr"
+	"legion/internal/collection"
+	"legion/internal/loid"
+	"legion/internal/monitor"
+	"legion/internal/orb"
+	"legion/internal/resilient"
+)
+
+// aliveFlag reads the daemon's liveness flag off a member's record.
+func aliveFlag(t *testing.T, recs []collection.Record, member loid.LOID) (alive bool, state string) {
+	t.Helper()
+	for _, r := range recs {
+		if r.Member != member {
+			continue
+		}
+		m := attr.FromPairs(r.Attrs)
+		a, okA := m[AttrAlive]
+		s, okS := m[AttrState]
+		if !okA || !okS {
+			t.Fatalf("record for %v lacks liveness attrs: %+v", member, r.Attrs)
+		}
+		return a.BoolVal(), s.Str()
+	}
+	t.Fatalf("no record for %v", member)
+	return false, ""
+}
+
+// TestUnreachableHostFlaggedDownThenRecovers drives the failure
+// detector end to end: probes fail, the host crosses the down threshold,
+// its Collection record is flagged down in place (stale attributes
+// preserved), and a recovery flips it back to alive.
+func TestUnreachableHostFlaggedDownThenRecovers(t *testing.T) {
+	rt, c, h, _ := setup(t)
+	// Single-attempt probes so each sweep is exactly one failure and the
+	// test controls the count.
+	d := New(rt, Config{
+		Interval:   time.Hour, // sweeps driven manually
+		Credential: "cred",
+		Retry:      resilient.Policy{MaxAttempts: 1},
+		DownAfter:  2,
+	})
+	d.Watch(h.LOID())
+	d.PushInto(c.LOID())
+	ctx := context.Background()
+
+	if ok := d.Sweep(ctx); ok != 1 {
+		t.Fatalf("healthy sweep deposits = %d", ok)
+	}
+	recs, _ := c.Query(`defined($host_arch)`)
+	if alive, state := aliveFlag(t, recs, h.LOID()); !alive || state != "up" {
+		t.Fatalf("healthy record flagged alive=%v state=%q", alive, state)
+	}
+
+	// The host stops answering (crash/partition): probes see transport
+	// faults, but calls to the Collection itself must keep working.
+	rt.SetFaultInjector(func(target loid.LOID, method string) error {
+		if target == h.LOID() {
+			return orb.ErrInjectedFault
+		}
+		return nil
+	})
+
+	d.Sweep(ctx) // failure 1 of 2: below threshold, record untouched
+	recs, _ = c.Query(`defined($host_arch)`)
+	if alive, _ := aliveFlag(t, recs, h.LOID()); !alive {
+		t.Fatal("record flagged down before reaching the threshold")
+	}
+	d.Sweep(ctx) // failure 2 of 2: crosses threshold, record flagged
+	if st := d.Liveness().State(h.LOID()); st != monitor.LivenessDown {
+		t.Fatalf("liveness state = %v, want down", st)
+	}
+	recs, _ = c.Query(`defined($host_arch)`)
+	if alive, state := aliveFlag(t, recs, h.LOID()); alive || state != "down" {
+		t.Fatalf("dead record flagged alive=%v state=%q", alive, state)
+	}
+	// Stale-but-flagged: the last known attributes are still served.
+	if _, ok := attr.FromPairs(recs[0].Attrs)["host_arch"]; !ok {
+		t.Fatal("stale attributes were dropped from the flagged record")
+	}
+
+	// Recovery: the next successful sweep restores the alive flag.
+	rt.SetFaultInjector(nil)
+	if ok := d.Sweep(ctx); ok != 1 {
+		t.Fatalf("recovery sweep deposits = %d", ok)
+	}
+	if st := d.Liveness().State(h.LOID()); st != monitor.LivenessUp {
+		t.Fatalf("liveness state after recovery = %v, want up", st)
+	}
+	recs, _ = c.Query(`defined($host_arch)`)
+	if alive, state := aliveFlag(t, recs, h.LOID()); !alive || state != "up" {
+		t.Fatalf("recovered record flagged alive=%v state=%q", alive, state)
+	}
+}
+
+// TestFailedProbeRetriesWithinSweep verifies a single blip is absorbed by
+// the per-probe retry (default 2 attempts) without marking the host.
+func TestFailedProbeRetriesWithinSweep(t *testing.T) {
+	rt, c, h, _ := setup(t)
+	d := New(rt, Config{Interval: time.Hour, Credential: "cred",
+		Retry: resilient.Policy{MaxAttempts: 2, BaseDelay: time.Millisecond}})
+	d.Watch(h.LOID())
+	d.PushInto(c.LOID())
+
+	failures := 0
+	rt.SetFaultInjector(func(target loid.LOID, method string) error {
+		if target == h.LOID() && failures == 0 {
+			failures++
+			return orb.ErrInjectedFault
+		}
+		return nil
+	})
+	if ok := d.Sweep(context.Background()); ok != 1 {
+		t.Fatalf("sweep with one blip deposits = %d", ok)
+	}
+	if st := d.Liveness().State(h.LOID()); st != monitor.LivenessUp {
+		t.Fatalf("liveness after absorbed blip = %v, want up", st)
+	}
+	if _, errs := d.Stats(); errs != 0 {
+		t.Fatalf("errors = %d, want 0 (blip absorbed by retry)", errs)
+	}
+}
+
+// TestPermanentProbeErrorStillCountsAsFailure: a resource that answers
+// with a permanent refusal-class error is still failing its probes.
+func TestPermanentProbeErrorStillCountsAsFailure(t *testing.T) {
+	rt, c, h, _ := setup(t)
+	ghost := loid.LOID{Domain: "uva", Class: "Host", Instance: 999} // never registered
+	d := New(rt, Config{Interval: time.Hour, Credential: "cred",
+		Retry: resilient.Policy{MaxAttempts: 1}, DownAfter: 2})
+	d.Watch(h.LOID(), ghost)
+	d.PushInto(c.LOID())
+	ctx := context.Background()
+
+	d.Sweep(ctx)
+	d.Sweep(ctx)
+	if st := d.Liveness().State(ghost); st != monitor.LivenessDown {
+		t.Fatalf("ghost state = %v, want down", st)
+	}
+	if st := d.Liveness().State(h.LOID()); st != monitor.LivenessUp {
+		t.Fatalf("real host state = %v, want up", st)
+	}
+	// The ghost never joined, so there is no record to flag — and no
+	// error from trying; the real host's record is unaffected.
+	if c.Size() != 1 {
+		t.Fatalf("collection size = %d, want 1 (just the real host)", c.Size())
+	}
+}

@@ -25,6 +25,7 @@ import (
 
 	"legion/internal/classobj"
 	"legion/internal/collection"
+	"legion/internal/collection/daemon"
 	"legion/internal/enactor"
 	"legion/internal/host"
 	"legion/internal/loid"
@@ -33,6 +34,7 @@ import (
 	"legion/internal/orb"
 	"legion/internal/proto"
 	"legion/internal/reservation"
+	"legion/internal/resilient"
 	"legion/internal/scheduler"
 	"legion/internal/vault"
 )
@@ -46,6 +48,13 @@ type Options struct {
 	CollectionAuth collection.Authorizer
 	// Credential is presented by hosts pushing state to the Collection.
 	Credential string
+	// Retry shapes transport-fault handling for placement-path calls
+	// (scheduler queries, Enactor negotiation). The zero value uses
+	// resilient defaults.
+	Retry resilient.Policy
+	// Breaker tunes the shared per-endpoint circuit breakers. The zero
+	// value uses resilient defaults.
+	Breaker resilient.BreakerConfig
 }
 
 // Metasystem is one administrative domain's assembled Legion RMI.
@@ -63,6 +72,11 @@ type Metasystem struct {
 	Enactor    *enactor.Enactor
 	Monitor    *monitor.Monitor
 
+	// breakers is the domain-wide circuit-breaker pool: the Wrapper,
+	// scheduler queries, and Enactor episodes share per-endpoint state so
+	// a Host that fails one layer fails fast in the others.
+	breakers *resilient.BreakerSet
+
 	mu      sync.Mutex
 	hosts   []*host.Host
 	vaults  []*vault.Vault
@@ -77,19 +91,24 @@ func New(domain string, opts Options) *Metasystem {
 	}
 	rt := orb.NewRuntime(domain)
 	ms := &Metasystem{
-		rt:      rt,
-		opts:    opts,
-		classes: make(map[string]*classobj.Class),
-		rng:     rand.New(rand.NewSource(opts.Seed)),
+		rt:       rt,
+		opts:     opts,
+		breakers: resilient.NewBreakerSet(opts.Breaker),
+		classes:  make(map[string]*classobj.Class),
+		rng:      rand.New(rand.NewSource(opts.Seed)),
 	}
 	ms.LegionClass = classobj.New(rt, classobj.Config{Name: "Legion"})
 	ms.HostClass = classobj.New(rt, classobj.Config{Name: "Host", Meta: ms.LegionClass.LOID()})
 	ms.VaultClass = classobj.New(rt, classobj.Config{Name: "Vault", Meta: ms.LegionClass.LOID()})
 	ms.Collection = collection.New(rt, opts.CollectionAuth)
-	ms.Enactor = enactor.New(rt, enactor.Config{})
+	ms.Enactor = enactor.New(rt, enactor.Config{Retry: opts.Retry, Breaker: opts.Breaker})
 	ms.Monitor = monitor.New(rt)
 	return ms
 }
+
+// Breakers exposes the domain-wide circuit-breaker pool (for inspection
+// in tests and operational tooling).
+func (ms *Metasystem) Breakers() *resilient.BreakerSet { return ms.breakers }
 
 // Runtime exposes the underlying object runtime.
 func (ms *Metasystem) Runtime() *orb.Runtime { return ms.rt }
@@ -138,6 +157,23 @@ func (ms *Metasystem) Vaults() []*vault.Vault {
 	return append([]*vault.Vault(nil), ms.vaults...)
 }
 
+// NewDaemon builds a Data Collection Daemon over this metasystem: it
+// watches every current host, pushes into the domain Collection, and
+// doubles as the failure detector — unreachable hosts get their
+// Collection records flagged down, which schedulers skip. The caller
+// drives sweeps (Sweep for one pass, Start for periodic).
+func (ms *Metasystem) NewDaemon() *daemon.Daemon {
+	d := daemon.New(ms.rt, daemon.Config{
+		Credential: ms.opts.Credential,
+		Retry:      ms.opts.Retry,
+	})
+	for _, h := range ms.Hosts() {
+		d.Watch(h.LOID())
+	}
+	d.PushInto(ms.Collection.LOID())
+	return d
+}
+
 // ReassessAll has every host recompute and push its state — one tick of
 // the periodic reassessment the paper describes.
 func (ms *Metasystem) ReassessAll(ctx context.Context) {
@@ -180,7 +216,7 @@ func (ms *Metasystem) quickPlacer() classobj.QuickPlacer {
 			return proto.Placement{}, err
 		}
 		for _, h := range hosts {
-			if len(h.Vaults) == 0 {
+			if len(h.Vaults) == 0 || h.Down {
 				continue
 			}
 			res, err := ms.rt.Call(ctx, h.LOID, proto.MethodMakeReservation, proto.MakeReservationArgs{
@@ -210,6 +246,8 @@ func (ms *Metasystem) Env() *scheduler.Env {
 		RT:         ms.rt,
 		Collection: ms.Collection.LOID(),
 		Rand:       rand.New(rand.NewSource(ms.rng.Int63())),
+		Retry:      ms.opts.Retry,
+		Breakers:   ms.breakers,
 	}
 }
 

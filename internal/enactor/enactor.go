@@ -29,6 +29,7 @@ import (
 	"legion/internal/orb"
 	"legion/internal/proto"
 	"legion/internal/reservation"
+	"legion/internal/resilient"
 	"legion/internal/sched"
 )
 
@@ -47,9 +48,21 @@ type Config struct {
 	// DefaultDuration applies when a request's ReservationSpec has zero
 	// duration; defaults to one hour.
 	DefaultDuration time.Duration
-	// CallTimeout bounds each per-resource negotiation call; defaults to
-	// 30 seconds.
+	// CallTimeout bounds each per-resource negotiation call (the whole
+	// retry budget for that call); defaults to 30 seconds.
 	CallTimeout time.Duration
+	// Retry shapes per-resource call retries. The zero value means up to
+	// 3 attempts with short exponential backoff; transient transport
+	// faults on a flaky Host are absorbed here before the Enactor falls
+	// back to variant schedules.
+	Retry resilient.Policy
+	// Breaker shapes the per-Host circuit breaker; the zero value uses
+	// resilient defaults. Repeatedly unreachable Hosts fail fast with
+	// ErrCircuitOpen instead of absorbing a retry budget per mapping.
+	Breaker resilient.BreakerConfig
+	// DisableResilience reverts to direct single-attempt calls — the
+	// pre-resilience behaviour, kept for ablation experiments.
+	DisableResilience bool
 }
 
 // heldRequest is the Enactor's retained state for one scheduling episode.
@@ -64,8 +77,9 @@ type heldRequest struct {
 // concurrent use; distinct requests negotiate independently.
 type Enactor struct {
 	*orb.ServiceObject
-	rt  *orb.Runtime
-	cfg Config
+	rt   *orb.Runtime
+	cfg  Config
+	call *resilient.Caller // resilient path for negotiation calls
 
 	mu       sync.Mutex
 	requests map[uint64]*heldRequest
@@ -83,16 +97,38 @@ func New(rt *orb.Runtime, cfg Config) *Enactor {
 	if cfg.CallTimeout <= 0 {
 		cfg.CallTimeout = 30 * time.Second
 	}
+	if cfg.Retry.MaxAttempts <= 0 {
+		cfg.Retry.MaxAttempts = 3
+	}
+	if cfg.Retry.Budget <= 0 {
+		cfg.Retry.Budget = cfg.CallTimeout
+	}
+	if cfg.Retry.AttemptTimeout <= 0 {
+		// A hung Host must not consume the whole budget in one attempt.
+		cfg.Retry.AttemptTimeout = cfg.Retry.Budget / time.Duration(cfg.Retry.MaxAttempts)
+	}
+	if cfg.DisableResilience {
+		cfg.Retry.MaxAttempts = 1
+	}
 	e := &Enactor{
 		ServiceObject: orb.NewServiceObject(rt.Mint("Enactor")),
 		rt:            rt,
 		cfg:           cfg,
 		requests:      make(map[uint64]*heldRequest),
 	}
+	if cfg.DisableResilience {
+		e.call = resilient.NewCallerWith(rt, cfg.Retry, nil)
+	} else {
+		e.call = resilient.NewCaller(rt, cfg.Retry, cfg.Breaker)
+	}
 	e.installMethods()
 	rt.Register(e)
 	return e
 }
+
+// Breakers exposes the Enactor's per-endpoint breaker states (nil when
+// resilience is disabled) — chaos tests and operators read these.
+func (e *Enactor) Breakers() *resilient.BreakerSet { return e.call.Breakers() }
 
 // NewRequestID mints a fresh request ID for a scheduling episode.
 func (e *Enactor) NewRequestID() uint64 {
@@ -246,12 +282,14 @@ func (e *Enactor) tryMaster(ctx context.Context, m *sched.Master, spec sched.Res
 	}
 }
 
-// reserve asks one Host for one reservation.
+// reserve asks one Host for one reservation, retrying transient
+// transport faults (and failing fast on an open breaker) before the
+// caller falls back to variant schedules. A retry after an ambiguous
+// failure can double-grant; the orphan grant is unconfirmed and is
+// reclaimed by the Host's confirmation timeout / reservation reaper.
 func (e *Enactor) reserve(ctx context.Context, m sched.Mapping, spec sched.ReservationSpec, stats *sched.EnactmentStats) (*reservation.Token, error) {
 	stats.ReservationsRequested++
-	cctx, cancel := context.WithTimeout(ctx, e.cfg.CallTimeout)
-	defer cancel()
-	res, err := e.rt.Call(cctx, m.Host, proto.MethodMakeReservation, proto.MakeReservationArgs{
+	res, err := e.call.Call(ctx, m.Host, proto.MethodMakeReservation, proto.MakeReservationArgs{
 		Requester: e.LOID(),
 		Vault:     m.Vault,
 		Type:      reservation.Type{Share: spec.Share, Reuse: spec.Reuse},
@@ -270,13 +308,12 @@ func (e *Enactor) reserve(ctx context.Context, m sched.Mapping, spec sched.Reser
 	return &reply.Token, nil
 }
 
-// cancelToken releases one reservation, tolerating failures (the host may
-// be gone; its confirmation timeout will reap the reservation).
+// cancelToken releases one reservation, retrying transient faults and
+// tolerating final failure (the host may be gone; its confirmation
+// timeout or reservation reaper will reclaim the grant).
 func (e *Enactor) cancelToken(ctx context.Context, hostL loid.LOID, tok reservation.Token, stats *sched.EnactmentStats) {
 	stats.ReservationsCancelled++
-	cctx, cancel := context.WithTimeout(ctx, e.cfg.CallTimeout)
-	defer cancel()
-	_, _ = e.rt.Call(cctx, hostL, proto.MethodCancelReservation, proto.TokenArgs{Token: tok})
+	_, _ = e.call.Call(ctx, hostL, proto.MethodCancelReservation, proto.TokenArgs{Token: tok})
 }
 
 // EnactSchedule instantiates the objects of a successfully reserved
@@ -292,13 +329,20 @@ func (e *Enactor) EnactSchedule(ctx context.Context, requestID uint64) proto.Ena
 		return proto.EnactReply{Success: false, Detail: ErrUnknownRequest.Error()}
 	}
 	if req.done {
-		return proto.EnactReply{Success: false, Detail: "enactor: request already enacted"}
+		// Idempotent at-least-once semantics: a caller retrying after a
+		// lost success reply gets the same outcome, not a failure.
+		return proto.EnactReply{Success: true, Instances: req.enacted}
 	}
+
+	// create_instance is not idempotent (a duplicate leaks a running
+	// object), so only faults that provably never reached the class
+	// object are retried.
+	createPolicy := e.call.Policy()
+	createPolicy.Retryable = resilient.NeverReached
 
 	created := make([][]loid.LOID, len(req.resolved))
 	for i, m := range req.resolved {
-		cctx, cancel := context.WithTimeout(ctx, e.cfg.CallTimeout)
-		res, err := e.rt.Call(cctx, m.Class, proto.MethodCreateInstance, proto.CreateInstanceArgs{
+		res, err := e.call.CallPolicy(ctx, createPolicy, m.Class, proto.MethodCreateInstance, proto.CreateInstanceArgs{
 			Count: 1,
 			Placement: &proto.Placement{
 				Host:  m.Host,
@@ -306,7 +350,6 @@ func (e *Enactor) EnactSchedule(ctx context.Context, requestID uint64) proto.Ena
 				Token: req.tokens[i],
 			},
 		})
-		cancel()
 		if err != nil {
 			e.rollback(ctx, req, created, i)
 			return proto.EnactReply{Success: false,
@@ -333,10 +376,8 @@ func (e *Enactor) rollback(ctx context.Context, req *heldRequest, created [][]lo
 	var stats sched.EnactmentStats
 	for i := 0; i < upto; i++ {
 		for _, inst := range created[i] {
-			cctx, cancel := context.WithTimeout(ctx, e.cfg.CallTimeout)
-			_, _ = e.rt.Call(cctx, req.resolved[i].Class, proto.MethodDestroyInstance,
+			_, _ = e.call.Call(ctx, req.resolved[i].Class, proto.MethodDestroyInstance,
 				proto.ObjectArgs{Object: inst})
-			cancel()
 		}
 	}
 	for i := range req.tokens {

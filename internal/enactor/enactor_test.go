@@ -94,9 +94,15 @@ func TestReserveAndEnactSuccess(t *testing.T) {
 	if err != nil || len(got) != 3 {
 		t.Errorf("Enacted: %v %v", got, err)
 	}
-	// Double enact refused.
-	if r2 := e.enactor.EnactSchedule(ctx, req.ID); r2.Success {
-		t.Error("double enact succeeded")
+	// Enact is idempotent: a retried call (e.g. after a lost reply)
+	// reports the same instances and creates nothing new.
+	r2 := e.enactor.EnactSchedule(ctx, req.ID)
+	if !r2.Success || len(r2.Instances) != 3 {
+		t.Errorf("retried enact: %+v", r2)
+	}
+	if e.hosts[0].RunningCount() != 2 || e.hosts[1].RunningCount() != 1 {
+		t.Errorf("retried enact duplicated objects: %d, %d",
+			e.hosts[0].RunningCount(), e.hosts[1].RunningCount())
 	}
 }
 

@@ -367,6 +367,40 @@ func (h *Host) StartReassessing(interval time.Duration) (stop func()) {
 	return func() { once.Do(func() { close(done) }) }
 }
 
+// ReapReservations reclaims expired and orphaned (granted but never
+// confirmed) reservations now, returning how many were dropped. This is
+// the failure-recovery half of the §3.1 reservation protocol: an Enactor
+// that crashed — or whose connection died after the grant — leaves
+// unconfirmed tokens behind, and reaping frees those slots for other
+// clients without waiting for the next reservation request to trigger
+// lazy expiry.
+func (h *Host) ReapReservations() int { return h.table.Reap() }
+
+// ActiveReservations returns the number of live (confirmed or awaiting
+// confirmation) reservations — chaos tests assert this drains to zero
+// after failed negotiations.
+func (h *Host) ActiveReservations() int { return h.table.Active() }
+
+// StartReaper runs ReapReservations every interval until the returned
+// stop function is called.
+func (h *Host) StartReaper(interval time.Duration) (stop func()) {
+	done := make(chan struct{})
+	var once sync.Once
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				h.ReapReservations()
+			case <-done:
+				return
+			}
+		}
+	}()
+	return func() { once.Do(func() { close(done) }) }
+}
+
 // --- Reservation management (Table 1, column 1) ---
 
 // MakeReservation grants a reservation after checking, per §3.1, "that

@@ -1,0 +1,75 @@
+package host
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"legion/internal/reservation"
+)
+
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}
+
+// TestReapReservationsReclaimsOrphans simulates an Enactor crashing
+// between make_reservation and confirmation: the unconfirmed grant must
+// be reclaimed by the reaper once its confirmation timeout passes,
+// without any further reservation traffic to trigger lazy expiry.
+func TestReapReservationsReclaimsOrphans(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(5000, 0)}
+	e := newEnv(t, func(cfg *Config) { cfg.ReservationTimeout = 10 * time.Second })
+	e.host.SetClock(clk.Now)
+
+	e.reserve(t, reservation.OneShotTimesharing) // orphan: never confirmed
+	if n := e.host.ActiveReservations(); n != 1 {
+		t.Fatalf("active = %d, want 1", n)
+	}
+	if n := e.host.ReapReservations(); n != 0 {
+		t.Fatalf("premature reap reclaimed %d", n)
+	}
+
+	clk.Advance(11 * time.Second) // past the confirmation timeout
+	if n := e.host.ReapReservations(); n != 1 {
+		t.Fatalf("reap reclaimed %d, want 1", n)
+	}
+	if n := e.host.ActiveReservations(); n != 0 {
+		t.Fatalf("active after reap = %d, want 0", n)
+	}
+}
+
+// TestStartReaperRunsInBackground verifies the periodic reaper reclaims
+// an orphaned grant without any explicit call.
+func TestStartReaperRunsInBackground(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(5000, 0)}
+	e := newEnv(t, func(cfg *Config) { cfg.ReservationTimeout = 10 * time.Second })
+	e.host.SetClock(clk.Now)
+
+	e.reserve(t, reservation.OneShotTimesharing)
+	stop := e.host.StartReaper(5 * time.Millisecond)
+	defer stop()
+
+	clk.Advance(11 * time.Second)
+	deadline := time.Now().Add(2 * time.Second)
+	for e.host.ActiveReservations() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("background reaper never reclaimed the orphan")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	stop()
+	stop() // idempotent
+}

@@ -139,12 +139,18 @@ func (rt *Runtime) Close() error {
 		s.mu.Unlock()
 		s.wg.Wait()
 	}
+	// Collect first, close outside clientsMu: each close invokes the
+	// eviction hook, which itself takes clientsMu.
 	rt.clientsMu.Lock()
+	clients := make([]*tcpClient, 0, len(rt.clients))
 	for addr, c := range rt.clients {
-		c.close(errors.New("orb: runtime closed"))
+		clients = append(clients, c)
 		delete(rt.clients, addr)
 	}
 	rt.clientsMu.Unlock()
+	for _, c := range clients {
+		c.close(errors.New("orb: runtime closed"))
+	}
 	return nil
 }
 
@@ -200,9 +206,10 @@ func (s *tcpServer) serveConn(conn net.Conn) {
 
 // tcpClient multiplexes calls to one remote runtime over one connection.
 type tcpClient struct {
-	conn  net.Conn
-	enc   *gob.Encoder
-	encMu sync.Mutex
+	conn    net.Conn
+	enc     *gob.Encoder
+	encMu   sync.Mutex
+	onClose func(*tcpClient) // eviction hook, run once on first close
 
 	mu      sync.Mutex
 	nextID  uint64
@@ -210,7 +217,7 @@ type tcpClient struct {
 	err     error
 }
 
-func dialClient(addr string) (*tcpClient, error) {
+func dialClient(addr string, onClose func(*tcpClient)) (*tcpClient, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("orb: dial %s: %w", addr, err)
@@ -218,6 +225,7 @@ func dialClient(addr string) (*tcpClient, error) {
 	c := &tcpClient{
 		conn:    conn,
 		enc:     gob.NewEncoder(conn),
+		onClose: onClose,
 		pending: make(map[uint64]chan response),
 	}
 	go c.readLoop()
@@ -245,21 +253,34 @@ func (c *tcpClient) readLoop() {
 	}
 }
 
-// close fails all pending calls and marks the client dead.
+// close fails all pending calls, marks the client dead, and (once) runs
+// the eviction hook so the owning Runtime drops it from the client cache
+// — the next call to this address redials instead of failing forever on
+// a dead connection.
 func (c *tcpClient) close(err error) {
 	c.conn.Close()
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.err == nil {
+	first := c.err == nil
+	if first {
 		c.err = err
 	}
 	for id, ch := range c.pending {
 		delete(c.pending, id)
 		ch <- response{ErrKind: errKindGeneric, ErrMsg: c.err.Error()}
 	}
+	onClose := c.onClose
+	c.mu.Unlock()
+	// Outside c.mu: the hook takes the Runtime's clientsMu, which other
+	// goroutines hold while taking c.mu (lock-order discipline).
+	if first && onClose != nil {
+		onClose(c)
+	}
 }
 
 func (c *tcpClient) call(ctx context.Context, req request) (any, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	ch := make(chan response, 1)
 	c.mu.Lock()
 	if c.err != nil {
@@ -272,17 +293,38 @@ func (c *tcpClient) call(ctx context.Context, req request) (any, error) {
 	c.pending[req.ID] = ch
 	c.mu.Unlock()
 
-	c.encMu.Lock()
-	err := c.enc.Encode(&req)
-	c.encMu.Unlock()
-	if err != nil {
+	// Encode on a separate goroutine so a wedged connection (peer not
+	// draining, send buffers full) cannot hold the caller past its ctx.
+	// If ctx expires mid-encode the connection is unusable — the stream
+	// is cut mid-message — so the whole client is closed; pending calls
+	// fail fast and the Runtime's eviction hook forces a redial.
+	encDone := make(chan error, 1)
+	go func() {
+		c.encMu.Lock()
+		err := c.enc.Encode(&req)
+		c.encMu.Unlock()
+		encDone <- err
+	}()
+	select {
+	case err := <-encDone:
+		if err != nil {
+			c.mu.Lock()
+			delete(c.pending, req.ID)
+			c.mu.Unlock()
+			c.close(fmt.Errorf("orb: send: %w", err))
+			return nil, fmt.Errorf("orb: send: %w", err)
+		}
+	case <-ctx.Done():
 		c.mu.Lock()
 		delete(c.pending, req.ID)
 		c.mu.Unlock()
-		c.close(fmt.Errorf("orb: send: %w", err))
-		return nil, fmt.Errorf("orb: send: %w", err)
+		c.close(fmt.Errorf("orb: send aborted: %w", ctx.Err()))
+		return nil, ctx.Err()
 	}
 
+	// Await the response. On ctx expiry the pending entry is withdrawn
+	// (no leak); the connection stays usable — a late response for the
+	// withdrawn ID is simply dropped by the read loop.
 	select {
 	case resp := <-ch:
 		return resp.Result, decodeErr(resp.ErrKind, resp.ErrMsg)
@@ -295,6 +337,8 @@ func (c *tcpClient) call(ctx context.Context, req request) (any, error) {
 }
 
 // client returns (dialing if necessary) the shared client for addr.
+// Dead clients are evicted eagerly by their close hook; the liveness
+// check here remains as a backstop against races.
 func (rt *Runtime) client(addr string) (*tcpClient, error) {
 	rt.clientsMu.Lock()
 	defer rt.clientsMu.Unlock()
@@ -307,7 +351,13 @@ func (rt *Runtime) client(addr string) (*tcpClient, error) {
 		}
 		delete(rt.clients, addr)
 	}
-	c, err := dialClient(addr)
+	c, err := dialClient(addr, func(dead *tcpClient) {
+		rt.clientsMu.Lock()
+		if rt.clients[addr] == dead {
+			delete(rt.clients, addr)
+		}
+		rt.clientsMu.Unlock()
+	})
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,184 @@
+package orb
+
+import (
+	"context"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"legion/internal/loid"
+)
+
+// slowObj answers "fast" immediately and "slow" after a delay.
+type slowObj struct {
+	l     loid.LOID
+	delay time.Duration
+}
+
+func (o *slowObj) LOID() loid.LOID { return o.l }
+
+func (o *slowObj) Dispatch(ctx context.Context, method string, arg any) (any, error) {
+	if method == "slow" {
+		time.Sleep(o.delay)
+	}
+	return "done", nil
+}
+
+// clientCount returns how many live clients a runtime caches.
+func clientCount(rt *Runtime) int {
+	rt.clientsMu.Lock()
+	defer rt.clientsMu.Unlock()
+	return len(rt.clients)
+}
+
+// pendingCount sums pending requests across a runtime's cached clients.
+func pendingCount(rt *Runtime) int {
+	rt.clientsMu.Lock()
+	defer rt.clientsMu.Unlock()
+	n := 0
+	for _, c := range rt.clients {
+		c.mu.Lock()
+		n += len(c.pending)
+		c.mu.Unlock()
+	}
+	return n
+}
+
+// TestDeadClientEvictedAndRedials drops the server side of an
+// established connection (listener kept alive) and verifies the cached
+// client is evicted promptly and the next call succeeds over a fresh
+// dial, instead of failing forever on the dead connection.
+func TestDeadClientEvictedAndRedials(t *testing.T) {
+	server := NewRuntime("srv")
+	obj := &slowObj{l: server.Mint("Echo")}
+	server.Register(obj)
+	addr, err := server.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer server.Close()
+
+	client := NewRuntime("cli")
+	defer client.Close()
+	client.Bind(obj.LOID(), addr)
+	ctx := context.Background()
+
+	if _, err := client.Call(ctx, obj.LOID(), "fast", nil); err != nil {
+		t.Fatalf("first call: %v", err)
+	}
+	if clientCount(client) != 1 {
+		t.Fatalf("clients cached: %d, want 1", clientCount(client))
+	}
+
+	// Sever every server-side connection; the listener stays up.
+	server.mu.RLock()
+	s := server.server
+	server.mu.RUnlock()
+	s.mu.Lock()
+	for conn := range s.cs {
+		conn.Close()
+	}
+	s.mu.Unlock()
+
+	// The client's readLoop notices and the eviction hook clears the
+	// cache without waiting for the next call.
+	deadline := time.Now().Add(2 * time.Second)
+	for clientCount(client) != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("dead client never evicted from cache")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The next call redials transparently.
+	if _, err := client.Call(ctx, obj.LOID(), "fast", nil); err != nil {
+		t.Fatalf("call after connection loss did not redial: %v", err)
+	}
+}
+
+// TestCallHonorsContextWhenConnectionWedged writes a payload larger than
+// the socket buffers to a peer that never reads, so the gob encode
+// blocks, and verifies the call returns on ctx expiry (closing the
+// now-unusable client) instead of hanging, with no pending-request leak.
+func TestCallHonorsContextWhenConnectionWedged(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		conn, aerr := ln.Accept()
+		if aerr == nil {
+			accepted <- conn // hold open, never read
+		}
+	}()
+
+	client := NewRuntime("cli")
+	defer client.Close()
+	target := loid.LOID{Domain: "srv", Class: "Sink", Instance: 1}
+	client.Bind(target, ln.Addr().String())
+
+	payload := make([]byte, 64<<20) // far beyond loopback socket buffers
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = client.Call(ctx, target, "ingest", payload)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err=%v, want deadline exceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("call hung %v on a wedged connection", elapsed)
+	}
+	if n := pendingCount(client); n != 0 {
+		t.Fatalf("pending requests leaked: %d", n)
+	}
+	// The wedged client was closed and evicted.
+	deadline := time.Now().Add(2 * time.Second)
+	for clientCount(client) != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("wedged client never evicted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	select {
+	case conn := <-accepted:
+		conn.Close()
+	default:
+	}
+}
+
+// TestCtxExpiryLeavesConnectionUsable cancels a call waiting for a slow
+// response and verifies the shared connection survives for other calls
+// and the abandoned request leaves no pending entry behind.
+func TestCtxExpiryLeavesConnectionUsable(t *testing.T) {
+	server := NewRuntime("srv")
+	obj := &slowObj{l: server.Mint("Echo"), delay: 300 * time.Millisecond}
+	server.Register(obj)
+	addr, err := server.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer server.Close()
+
+	client := NewRuntime("cli")
+	defer client.Close()
+	client.Bind(obj.LOID(), addr)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if _, err := client.Call(ctx, obj.LOID(), "slow", nil); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("slow call: err=%v, want deadline exceeded", err)
+	}
+	if n := pendingCount(client); n != 0 {
+		t.Fatalf("pending requests leaked after timeout: %d", n)
+	}
+	// Same cached connection still works.
+	if clientCount(client) != 1 {
+		t.Fatalf("clients cached: %d, want 1 (connection must survive a timeout)", clientCount(client))
+	}
+	if res, err := client.Call(context.Background(), obj.LOID(), "fast", nil); err != nil || res != "done" {
+		t.Fatalf("fast call after timeout: %v %v", res, err)
+	}
+}

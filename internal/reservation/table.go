@@ -251,6 +251,20 @@ func (tb *Table) Active() int {
 	return len(tb.entries)
 }
 
+// Reap synchronously drops expired and unconfirmed-past-timeout
+// reservations and reports how many were reclaimed. Expiry also happens
+// lazily on Make/Active, but a Host whose clients crashed between
+// make_reservation and confirmation may see no further traffic — the
+// background reaper calls this so orphaned grants free their slots
+// promptly instead of at the next request.
+func (tb *Table) Reap() int {
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	before := len(tb.entries)
+	tb.gcLocked(tb.now())
+	return before - len(tb.entries)
+}
+
 // gcLocked drops reservations whose interval has entirely passed or whose
 // confirmation timeout elapsed unconfirmed.
 func (tb *Table) gcLocked(now time.Time) {

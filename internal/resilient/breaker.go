@@ -1,0 +1,243 @@
+package resilient
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrCircuitOpen reports a call refused locally because the endpoint's
+// breaker is open (the endpoint failed repeatedly and its cooldown has
+// not elapsed). Classified permanent: the caller should fall back —
+// variant schedule, other master, stale record — rather than retry.
+var ErrCircuitOpen = errors.New("resilient: circuit open")
+
+// State is a breaker's position.
+type State int
+
+// Breaker states (closed → open → half-open → closed).
+const (
+	// Closed: calls flow normally.
+	Closed State = iota
+	// Open: calls are refused without touching the endpoint.
+	Open
+	// HalfOpen: a limited number of probe calls may test the endpoint.
+	HalfOpen
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	default:
+		return "half-open"
+	}
+}
+
+// BreakerConfig parameterizes breakers.
+type BreakerConfig struct {
+	// FailureThreshold is the consecutive transport-failure count that
+	// opens the breaker; <=0 means 5.
+	FailureThreshold int
+	// Cooldown is how long an open breaker refuses calls before allowing
+	// half-open probes; <=0 means 2s.
+	Cooldown time.Duration
+	// HalfOpenMax bounds concurrent probes in half-open; <=0 means 1.
+	HalfOpenMax int
+}
+
+func (c BreakerConfig) threshold() int {
+	if c.FailureThreshold <= 0 {
+		return 5
+	}
+	return c.FailureThreshold
+}
+
+func (c BreakerConfig) cooldown() time.Duration {
+	if c.Cooldown <= 0 {
+		return 2 * time.Second
+	}
+	return c.Cooldown
+}
+
+func (c BreakerConfig) halfOpenMax() int {
+	if c.HalfOpenMax <= 0 {
+		return 1
+	}
+	return c.HalfOpenMax
+}
+
+// Breaker is a circuit breaker for one endpoint (a LOID or a TCP
+// address). Only transport faults count toward opening it: a permanent
+// refusal (policy, conflict) proves the endpoint alive and resets the
+// failure streak. Safe for concurrent use.
+type Breaker struct {
+	cfg BreakerConfig
+
+	mu       sync.Mutex
+	state    State
+	failures int       // consecutive transport failures (closed state)
+	openedAt time.Time // when the breaker last opened
+	probes   int       // in-flight probes (half-open state)
+	now      func() time.Time
+}
+
+// NewBreaker creates a closed breaker.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	return &Breaker{cfg: cfg, now: time.Now}
+}
+
+// SetClock overrides the breaker's time source for tests.
+func (b *Breaker) SetClock(now func() time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.now = now
+}
+
+// State returns the breaker's current position, accounting for cooldown
+// expiry (an open breaker past its cooldown reports half-open).
+func (b *Breaker) State() State {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == Open && b.now().Sub(b.openedAt) >= b.cfg.cooldown() {
+		return HalfOpen
+	}
+	return b.state
+}
+
+// Allow asks permission to place one call. It returns nil (call may
+// proceed; the caller must Record the outcome) or ErrCircuitOpen.
+func (b *Breaker) Allow() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		return nil
+	case Open:
+		if b.now().Sub(b.openedAt) < b.cfg.cooldown() {
+			return fmt.Errorf("%w: cooling down", ErrCircuitOpen)
+		}
+		// Cooldown elapsed: transition to half-open and admit this call
+		// as the first probe.
+		b.state = HalfOpen
+		b.probes = 1
+		return nil
+	default: // HalfOpen
+		if b.probes >= b.cfg.halfOpenMax() {
+			return fmt.Errorf("%w: half-open probe limit", ErrCircuitOpen)
+		}
+		b.probes++
+		return nil
+	}
+}
+
+// Record reports one allowed call's outcome. Success or a permanent
+// refusal (both prove the endpoint reachable) closes or keeps closed;
+// a transport fault counts toward opening.
+func (b *Breaker) Record(err error) {
+	class := Classify(err)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case HalfOpen:
+		if b.probes > 0 {
+			b.probes--
+		}
+		if class == ClassRetryable {
+			b.state = Open
+			b.openedAt = b.now()
+			b.failures = 0
+			return
+		}
+		// The probe reached the endpoint: recover.
+		b.state = Closed
+		b.failures = 0
+	case Closed:
+		if class != ClassRetryable {
+			b.failures = 0
+			return
+		}
+		b.failures++
+		if b.failures >= b.cfg.threshold() {
+			b.state = Open
+			b.openedAt = b.now()
+			b.failures = 0
+		}
+	case Open:
+		// A straggler from before the breaker opened; nothing to update.
+	}
+}
+
+// Trip forces the breaker open (liveness trackers use this when an
+// endpoint is declared down out-of-band).
+func (b *Breaker) Trip() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = Open
+	b.openedAt = b.now()
+	b.failures = 0
+}
+
+// Reset forces the breaker closed.
+func (b *Breaker) Reset() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = Closed
+	b.failures = 0
+	b.probes = 0
+}
+
+// BreakerSet holds one Breaker per endpoint key (a LOID string or TCP
+// address). Safe for concurrent use.
+type BreakerSet struct {
+	cfg BreakerConfig
+
+	mu    sync.Mutex
+	m     map[string]*Breaker
+	clock func() time.Time // non-nil after SetClock; applied to new breakers
+}
+
+// NewBreakerSet creates an empty set minting breakers with cfg.
+func NewBreakerSet(cfg BreakerConfig) *BreakerSet {
+	return &BreakerSet{cfg: cfg, m: make(map[string]*Breaker)}
+}
+
+// For returns (creating if needed) the breaker for key.
+func (s *BreakerSet) For(key string) *Breaker {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.m[key]
+	if !ok {
+		b = NewBreaker(s.cfg)
+		if s.clock != nil {
+			b.SetClock(s.clock)
+		}
+		s.m[key] = b
+	}
+	return b
+}
+
+// States snapshots every known endpoint's state.
+func (s *BreakerSet) States() map[string]State {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]State, len(s.m))
+	for k, b := range s.m {
+		out[k] = b.State()
+	}
+	return out
+}
+
+// SetClock overrides the clock of all current and future breakers.
+func (s *BreakerSet) SetClock(now func() time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, b := range s.m {
+		b.SetClock(now)
+	}
+	s.clock = now
+}

@@ -1,0 +1,300 @@
+// Package resilient is the failure-tolerance substrate for metasystem
+// method calls.
+//
+// The paper requires that "our Legion objects are built to accommodate
+// failure at any step in the scheduling process". In a wide-area
+// metasystem the negotiation substrate itself — the orb calls between
+// Scheduler, Enactor, Collection, Hosts and Vaults — is the component
+// that fails most often: connections drop, sites partition, hosts hang.
+// This package provides the three mechanisms the rest of the RMI uses to
+// degrade gracefully instead of failing a whole negotiation on the first
+// dropped packet:
+//
+//   - an error classifier (Classify) separating retryable transport
+//     faults (injected faults, connection loss, timeouts) from permanent
+//     refusals (placement policy, reservation conflicts, unbound
+//     objects) that retrying cannot fix;
+//   - a retry Policy with exponential backoff, jitter, and a per-call
+//     deadline budget (Do / DoValue);
+//   - a per-endpoint circuit Breaker (closed → open → half-open, see
+//     breaker.go) so a dead Host is failed fast after a few strikes
+//     instead of absorbing a full retry budget on every call.
+//
+// Caller (caller.go) composes all three over any Invoker — in practice
+// an *orb.Runtime — and is what the Enactor, Scheduler Wrapper, and Data
+// Collection Daemon use for their negotiation calls.
+package resilient
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"legion/internal/host"
+	"legion/internal/orb"
+	"legion/internal/reservation"
+)
+
+// Class is the classifier's verdict on a call error.
+type Class int
+
+// Classification outcomes.
+const (
+	// ClassOK: no error.
+	ClassOK Class = iota
+	// ClassRetryable: a transport-level fault; the same call may succeed
+	// if repeated (possibly over a fresh connection).
+	ClassRetryable
+	// ClassPermanent: a definitive refusal or a logic error; retrying the
+	// same call against the same endpoint cannot succeed.
+	ClassPermanent
+)
+
+// String names the class.
+func (c Class) String() string {
+	switch c {
+	case ClassOK:
+		return "ok"
+	case ClassRetryable:
+		return "retryable"
+	default:
+		return "permanent"
+	}
+}
+
+// permanentMarks are substrings of errors that are definitive refusals
+// even after crossing the wire as an *orb.RemoteError (which erases the
+// sentinel identity but preserves the message).
+var permanentMarks = []string{
+	host.ErrPolicy.Error(),
+	host.ErrVaultUnreachable.Error(),
+	host.ErrUnknownObject.Error(),
+	host.ErrQueueRejected.Error(),
+	reservation.ErrConflict.Error(),
+	reservation.ErrInvalidToken.Error(),
+	reservation.ErrExpired.Error(),
+	reservation.ErrNotYetValid.Error(),
+	reservation.ErrBadRequest.Error(),
+	orb.ErrNotBound.Error(),
+	orb.ErrNoMethod.Error(),
+}
+
+// transportMarks are substrings of errors produced by the orb transport
+// (or its remote echo) when a connection, not the target object, failed.
+var transportMarks = []string{
+	"orb: injected fault",
+	"orb: connection closed by peer",
+	"orb: runtime closed",
+	"orb: send",
+	"orb: dial",
+	"connection refused",
+	"connection reset",
+	"broken pipe",
+	"i/o timeout",
+	"use of closed network connection",
+	"EOF",
+}
+
+// Classify sorts a call error into retryable transport faults versus
+// permanent refusals. Unknown errors classify as permanent: blindly
+// retrying a call whose failure mode we cannot name risks duplicating
+// non-idempotent work (e.g. double-granting a reservation), while
+// treating it as final merely falls back to a variant schedule.
+func Classify(err error) Class {
+	switch {
+	case err == nil:
+		return ClassOK
+	case errors.Is(err, orb.ErrInjectedFault):
+		return ClassRetryable
+	case errors.Is(err, ErrCircuitOpen):
+		return ClassPermanent
+	case errors.Is(err, context.DeadlineExceeded):
+		// A per-attempt deadline: the endpoint was slow, not wrong.
+		return ClassRetryable
+	case errors.Is(err, context.Canceled):
+		return ClassPermanent
+	case errors.Is(err, orb.ErrNotBound), errors.Is(err, orb.ErrNoMethod):
+		return ClassPermanent
+	case errors.Is(err, host.ErrPolicy), errors.Is(err, host.ErrVaultUnreachable):
+		return ClassPermanent
+	case errors.Is(err, reservation.ErrConflict), errors.Is(err, reservation.ErrInvalidToken),
+		errors.Is(err, reservation.ErrExpired), errors.Is(err, reservation.ErrBadRequest):
+		return ClassPermanent
+	}
+	var nerr net.Error
+	if errors.As(err, &nerr) {
+		return ClassRetryable
+	}
+	msg := err.Error()
+	for _, m := range permanentMarks {
+		if strings.Contains(msg, m) {
+			return ClassPermanent
+		}
+	}
+	for _, m := range transportMarks {
+		if strings.Contains(msg, m) {
+			return ClassRetryable
+		}
+	}
+	return ClassPermanent
+}
+
+// NeverReached reports whether the error guarantees the call was aborted
+// before it reached the target object — fault injection, an open
+// breaker, or a failed dial. Such calls are safe to retry even when the
+// operation is not idempotent (nothing happened on the far side); the
+// Enactor uses this predicate for create_instance.
+func NeverReached(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, orb.ErrInjectedFault) || errors.Is(err, ErrCircuitOpen) {
+		return true
+	}
+	msg := err.Error()
+	return strings.Contains(msg, "orb: dial") || strings.Contains(msg, "connection refused")
+}
+
+// Policy parameterizes retries for one logical call.
+type Policy struct {
+	// MaxAttempts bounds total attempts (first try included); <=0 means 4.
+	MaxAttempts int
+	// BaseDelay is the backoff before the second attempt; <=0 means 5ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff; <=0 means 64*BaseDelay.
+	MaxDelay time.Duration
+	// Multiplier grows the backoff per attempt; <=1 means 2.
+	Multiplier float64
+	// Jitter is the fraction of the delay randomized (0..1); zero means
+	// 0.5, negative disables jitter (deterministic backoff).
+	Jitter float64
+	// Budget bounds the whole call — attempts plus backoffs — with a
+	// deadline; 0 imposes none beyond the caller's ctx.
+	Budget time.Duration
+	// AttemptTimeout bounds each individual attempt; 0 imposes none
+	// beyond the (budgeted) ctx.
+	AttemptTimeout time.Duration
+	// Retryable overrides Classify as the retry predicate; nil uses
+	// Classify(err) == ClassRetryable.
+	Retryable func(error) bool
+}
+
+func (p Policy) attempts() int {
+	if p.MaxAttempts <= 0 {
+		return 4
+	}
+	return p.MaxAttempts
+}
+
+func (p Policy) retryable(err error) bool {
+	if p.Retryable != nil {
+		return p.Retryable(err)
+	}
+	return Classify(err) == ClassRetryable
+}
+
+// jitterRng randomizes backoff; guarded because retries run on many
+// goroutines (the Enactor negotiates mappings concurrently under test).
+var (
+	jitterMu  sync.Mutex
+	jitterRng = rand.New(rand.NewSource(42))
+)
+
+// delay computes the backoff before attempt n (n=1 is the delay after
+// the first failure).
+func (p Policy) delay(n int) time.Duration {
+	base := p.BaseDelay
+	if base <= 0 {
+		base = 5 * time.Millisecond
+	}
+	mult := p.Multiplier
+	if mult <= 1 {
+		mult = 2
+	}
+	maxd := p.MaxDelay
+	if maxd <= 0 {
+		maxd = 64 * base
+	}
+	d := float64(base)
+	for i := 1; i < n; i++ {
+		d *= mult
+		if d >= float64(maxd) {
+			d = float64(maxd)
+			break
+		}
+	}
+	jit := p.Jitter
+	if jit == 0 {
+		jit = 0.5
+	} else if jit < 0 {
+		jit = 0
+	}
+	if jit > 1 {
+		jit = 1
+	}
+	if jit > 0 {
+		jitterMu.Lock()
+		f := jitterRng.Float64()
+		jitterMu.Unlock()
+		d = d * (1 - jit + jit*f) // uniform in [d*(1-jit), d]
+	}
+	return time.Duration(d)
+}
+
+// Do runs op under the policy: attempts are repeated with backoff while
+// the error stays retryable, the budget deadline holds, and attempts
+// remain. The final error is returned annotated with the attempt count.
+func (p Policy) Do(ctx context.Context, op func(ctx context.Context) error) error {
+	if p.Budget > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, p.Budget)
+		defer cancel()
+	}
+	var err error
+	attempts := p.attempts()
+	for n := 1; ; n++ {
+		actx := ctx
+		var cancel context.CancelFunc = func() {}
+		if p.AttemptTimeout > 0 {
+			actx, cancel = context.WithTimeout(ctx, p.AttemptTimeout)
+		}
+		err = op(actx)
+		cancel()
+		if err == nil {
+			return nil
+		}
+		if !p.retryable(err) {
+			return err
+		}
+		if n >= attempts {
+			return fmt.Errorf("resilient: %d attempts exhausted: %w", attempts, err)
+		}
+		if ctx.Err() != nil {
+			return fmt.Errorf("resilient: budget exhausted after %d attempts: %w", n, err)
+		}
+		select {
+		case <-time.After(p.delay(n)):
+		case <-ctx.Done():
+			return fmt.Errorf("resilient: budget exhausted after %d attempts: %w", n, err)
+		}
+	}
+}
+
+// DoValue is Do for operations returning a value.
+func (p Policy) DoValue(ctx context.Context, op func(ctx context.Context) (any, error)) (any, error) {
+	var res any
+	err := p.Do(ctx, func(ctx context.Context) error {
+		var oerr error
+		res, oerr = op(ctx)
+		return oerr
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}

@@ -39,6 +39,7 @@ import (
 	"legion/internal/loid"
 	"legion/internal/orb"
 	"legion/internal/proto"
+	"legion/internal/resilient"
 	"legion/internal/sched"
 )
 
@@ -95,6 +96,14 @@ type Env struct {
 	Rand *rand.Rand
 	// QueryTimeout bounds Collection and class queries; zero means 30s.
 	QueryTimeout time.Duration
+	// Retry shapes transport-fault retries for scheduler-side calls
+	// (Collection queries, class queries, Enactor negotiation); the zero
+	// value uses resilient defaults.
+	Retry resilient.Policy
+	// Breakers, when non-nil, pools per-endpoint circuit state — core
+	// shares one set across the Wrapper, queries, and episodes so a dead
+	// Collection or Enactor fails fast. Nil disables breakers.
+	Breakers *resilient.BreakerSet
 }
 
 func (e *Env) timeout() time.Duration {
@@ -102,6 +111,12 @@ func (e *Env) timeout() time.Duration {
 		return e.QueryTimeout
 	}
 	return 30 * time.Second
+}
+
+// call makes one scheduler-side metasystem call through the Env's retry
+// policy and shared breakers.
+func (e *Env) call(ctx context.Context, target loid.LOID, method string, arg any) (any, error) {
+	return resilient.NewCallerWith(e.RT, e.Retry, e.Breakers).Call(ctx, target, method, arg)
 }
 
 // HostInfo is a scheduler's parsed view of one Collection host record.
@@ -115,6 +130,10 @@ type HostInfo struct {
 	Cost   float64
 	Batch  bool
 	Vaults []loid.LOID
+	// Down is true when the record is flagged unreachable
+	// (host_alive == false, set by the Collection daemon's failure
+	// detector); schedulers skip such hosts.
+	Down bool
 }
 
 // queryClassImpls fetches a class's available implementations (Fig 7:
@@ -122,7 +141,7 @@ type HostInfo struct {
 func queryClassImpls(ctx context.Context, env *Env, class loid.LOID) ([]proto.Implementation, error) {
 	cctx, cancel := context.WithTimeout(ctx, env.timeout())
 	defer cancel()
-	res, err := env.RT.Call(cctx, class, proto.MethodGetImplementations, nil)
+	res, err := env.call(cctx, class, proto.MethodGetImplementations, nil)
 	if err != nil {
 		return nil, fmt.Errorf("scheduler: get_implementations on %v: %w", class, err)
 	}
@@ -176,7 +195,7 @@ func matchingHosts(ctx context.Context, env *Env, class loid.LOID) ([]HostInfo, 
 func QueryHosts(ctx context.Context, env *Env, querySrc string) ([]HostInfo, error) {
 	cctx, cancel := context.WithTimeout(ctx, env.timeout())
 	defer cancel()
-	res, err := env.RT.Call(cctx, env.Collection, proto.MethodQueryCollection,
+	res, err := env.call(cctx, env.Collection, proto.MethodQueryCollection,
 		proto.QueryArgs{Query: querySrc})
 	if err != nil {
 		return nil, fmt.Errorf("scheduler: collection query: %w", err)
@@ -221,6 +240,9 @@ func parseHostInfo(rec proto.CollectionRecord) HostInfo {
 	if v, ok := m["host_is_batch"]; ok {
 		h.Batch = v.BoolVal()
 	}
+	if v, ok := m["host_alive"]; ok {
+		h.Down = !v.BoolVal()
+	}
 	if v, ok := m["host_vaults"]; ok && v.Kind() == attr.KindList {
 		for i := 0; i < v.Len(); i++ {
 			if l, err := loid.Parse(v.At(i).Str()); err == nil {
@@ -232,11 +254,12 @@ func parseHostInfo(rec proto.CollectionRecord) HostInfo {
 }
 
 // usable filters hosts that have at least one compatible vault — a host
-// with no vault cannot run anything (objects need OPR storage).
+// with no vault cannot run anything (objects need OPR storage) — and are
+// not flagged down by the failure detector.
 func usable(hosts []HostInfo) []HostInfo {
 	out := hosts[:0:0]
 	for _, h := range hosts {
-		if len(h.Vaults) > 0 {
+		if len(h.Vaults) > 0 && !h.Down {
 			out = append(out, h)
 		}
 	}

@@ -2,11 +2,13 @@ package scheduler
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync/atomic"
 
 	"legion/internal/loid"
 	"legion/internal/proto"
+	"legion/internal/resilient"
 	"legion/internal/sched"
 )
 
@@ -26,6 +28,13 @@ func init() { wrapperIDs.Store(1 << 32) }
 //	        if make_reservations(sched) succeeded:
 //	            if enact_placement(sched) succeeded: return success
 //	return failure
+//
+// Transport faults are handled below the protocol loops: each Enactor
+// call runs under the Env's retry policy and shared breakers, so a
+// dropped connection is redialed and retried (with a fresh request ID
+// per reservation attempt — see below) without burning a Figure 9
+// attempt, while permanent refusals fall through to the protocol's own
+// regenerate / give-up logic.
 type Wrapper struct {
 	// SchedTryLimit bounds schedule generations; default 3.
 	SchedTryLimit int
@@ -47,6 +56,9 @@ type Outcome struct {
 	// SchedAttempts and EnactAttempts count work performed.
 	SchedAttempts int
 	EnactAttempts int
+	// TransportRetries counts Enactor calls repeated below the protocol
+	// after a retryable transport fault.
+	TransportRetries int
 }
 
 // Run executes the retry protocol, calling the Enactor through the orb
@@ -61,6 +73,7 @@ func (w Wrapper) Run(ctx context.Context, env *Env, enactorL loid.LOID, gen Gene
 	if enactLimit <= 0 {
 		enactLimit = 2
 	}
+	caller := resilient.NewCallerWith(env.RT, env.Retry, env.Breakers)
 
 	var out Outcome
 	var lastErr error
@@ -73,14 +86,33 @@ func (w Wrapper) Run(ctx context.Context, env *Env, enactorL loid.LOID, gen Gene
 		}
 		for j := 0; j < enactLimit; j++ {
 			out.EnactAttempts++
-			request.ID = wrapperIDs.Add(1)
-			res, err := env.RT.Call(ctx, enactorL, proto.MethodMakeReservations,
-				proto.MakeReservationsArgs{Request: request})
-			if err != nil {
-				lastErr = err
+			// make_reservations is retried with a FRESH request ID per
+			// transport attempt: if a success reply was lost, the orphan
+			// episode's unconfirmed reservations are reclaimed by the
+			// Hosts' confirmation timeouts, whereas reusing the ID would
+			// silently overwrite held state at the Enactor.
+			var fb sched.Feedback
+			rerr := env.Retry.Do(ctx, func(actx context.Context) error {
+				request.ID = wrapperIDs.Add(1)
+				res, cerr := caller.CallOnce(actx, enactorL, proto.MethodMakeReservations,
+					proto.MakeReservationsArgs{Request: request})
+				if cerr != nil {
+					out.TransportRetries++
+					return cerr
+				}
+				fb = res.(proto.FeedbackReply).Feedback
+				return nil
+			})
+			if rerr != nil {
+				lastErr = rerr
+				if errors.Is(rerr, resilient.ErrCircuitOpen) {
+					// The Enactor endpoint itself is down; neither this
+					// schedule nor a regenerated one can proceed.
+					return out, fmt.Errorf("%w (after %d schedules, %d enact attempts): %v",
+						ErrExhausted, out.SchedAttempts, out.EnactAttempts, rerr)
+				}
 				continue
 			}
-			fb := res.(proto.FeedbackReply).Feedback
 			out.Feedback = fb
 			if !fb.Success {
 				lastErr = fmt.Errorf("scheduler: %s: %s", fb.Reason, fb.Detail)
@@ -91,7 +123,10 @@ func (w Wrapper) Run(ctx context.Context, env *Env, enactorL loid.LOID, gen Gene
 				}
 				continue
 			}
-			eres, err := env.RT.Call(ctx, enactorL, proto.MethodEnactSchedule,
+			// enact_schedule is idempotent at the Enactor (a retried
+			// success returns the same instances), so the same request
+			// ID is safely retried through the resilient caller.
+			eres, err := caller.Call(ctx, enactorL, proto.MethodEnactSchedule,
 				proto.EnactScheduleArgs{RequestID: request.ID})
 			if err != nil {
 				lastErr = err
