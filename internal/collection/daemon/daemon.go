@@ -52,6 +52,9 @@ type Config struct {
 	Retry resilient.Policy
 	// Breaker shapes the per-resource circuit breaker.
 	Breaker resilient.BreakerConfig
+	// Breakers, when non-nil, is an existing breaker pool to share (e.g.
+	// the Metasystem's domain-wide set); it overrides Breaker.
+	Breakers *resilient.BreakerSet
 	// Liveness, when non-nil, is the tracker to feed; nil makes the
 	// daemon create its own (read it back via Liveness()).
 	Liveness *monitor.Liveness
@@ -99,10 +102,14 @@ func New(rt *orb.Runtime, cfg Config) *Daemon {
 	if cfg.Liveness == nil {
 		cfg.Liveness = monitor.NewLiveness(3*cfg.Interval, cfg.DownAfter)
 	}
+	call := resilient.NewCaller(rt, cfg.Retry, cfg.Breaker)
+	if cfg.Breakers != nil {
+		call = resilient.NewCallerWith(rt, cfg.Retry, cfg.Breakers)
+	}
 	return &Daemon{
 		rt:      rt,
 		cfg:     cfg,
-		call:    resilient.NewCaller(rt, cfg.Retry, cfg.Breaker),
+		call:    call,
 		live:    cfg.Liveness,
 		joined:  make(map[loid.LOID]bool),
 		flagged: make(map[loid.LOID]bool),

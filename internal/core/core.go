@@ -73,8 +73,9 @@ type Metasystem struct {
 	Monitor    *monitor.Monitor
 
 	// breakers is the domain-wide circuit-breaker pool: the Wrapper,
-	// scheduler queries, and Enactor episodes share per-endpoint state so
-	// a Host that fails one layer fails fast in the others.
+	// scheduler queries, Enactor episodes, and daemon probes share
+	// per-endpoint state so a Host that fails one layer fails fast in
+	// the others.
 	breakers *resilient.BreakerSet
 
 	mu      sync.Mutex
@@ -101,7 +102,7 @@ func New(domain string, opts Options) *Metasystem {
 	ms.HostClass = classobj.New(rt, classobj.Config{Name: "Host", Meta: ms.LegionClass.LOID()})
 	ms.VaultClass = classobj.New(rt, classobj.Config{Name: "Vault", Meta: ms.LegionClass.LOID()})
 	ms.Collection = collection.New(rt, opts.CollectionAuth)
-	ms.Enactor = enactor.New(rt, enactor.Config{Retry: opts.Retry, Breaker: opts.Breaker})
+	ms.Enactor = enactor.New(rt, enactor.Config{Retry: opts.Retry, Breakers: ms.breakers})
 	ms.Monitor = monitor.New(rt)
 	return ms
 }
@@ -166,6 +167,7 @@ func (ms *Metasystem) NewDaemon() *daemon.Daemon {
 	d := daemon.New(ms.rt, daemon.Config{
 		Credential: ms.opts.Credential,
 		Retry:      ms.opts.Retry,
+		Breakers:   ms.breakers,
 	})
 	for _, h := range ms.Hosts() {
 		d.Watch(h.LOID())

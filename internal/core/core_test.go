@@ -40,6 +40,23 @@ func workerReq(c loid.LOID, n int) scheduler.Request {
 	}
 }
 
+// TestDomainWideBreakersShared pins the wiring the Metasystem promises:
+// the Enactor and the Data Collection Daemon use the same per-endpoint
+// breaker pool as the scheduler path, so a Host that fails in one layer
+// fails fast in the others.
+func TestDomainWideBreakersShared(t *testing.T) {
+	ms := buildMeta(t, 1)
+	if ms.Enactor.Breakers() != ms.Breakers() {
+		t.Error("Enactor uses a private breaker set, not the domain-wide pool")
+	}
+	if d := ms.NewDaemon(); d.Breakers() != ms.Breakers() {
+		t.Error("Daemon uses a private breaker set, not the domain-wide pool")
+	}
+	if ms.Env().Breakers != ms.Breakers() {
+		t.Error("scheduler Env uses a private breaker set, not the domain-wide pool")
+	}
+}
+
 func TestFigure1Hierarchy(t *testing.T) {
 	ms := buildMeta(t, 2)
 	// LegionClass is the root; HostClass and VaultClass are managed by it.

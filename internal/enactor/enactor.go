@@ -60,17 +60,35 @@ type Config struct {
 	// resilient defaults. Repeatedly unreachable Hosts fail fast with
 	// ErrCircuitOpen instead of absorbing a retry budget per mapping.
 	Breaker resilient.BreakerConfig
+	// Breakers, when non-nil, is an existing breaker pool to share (e.g.
+	// the Metasystem's domain-wide set, so a Host failing in the Enactor
+	// fails fast in the scheduler path and vice versa); it overrides
+	// Breaker.
+	Breakers *resilient.BreakerSet
+	// RequestTTL bounds how long a reserved-but-never-enacted episode's
+	// state is retained. The Wrapper mints a fresh request ID per
+	// make_reservations transport attempt, so an attempt whose success
+	// reply was lost leaves an orphan entry here forever; entries older
+	// than the TTL are swept (their unconfirmed grants are reclaimed
+	// host-side by the confirmation timeout / reservation reaper).
+	// Defaults to 5 minutes.
+	RequestTTL time.Duration
 	// DisableResilience reverts to direct single-attempt calls — the
 	// pre-resilience behaviour, kept for ablation experiments.
 	DisableResilience bool
 }
 
 // heldRequest is the Enactor's retained state for one scheduling episode.
+// resolved and tokens are immutable once the request is published; the
+// remaining fields are guarded by the Enactor's mu.
 type heldRequest struct {
 	resolved []sched.Mapping
 	tokens   []reservation.Token
+	reserved time.Time // when the reservations were made (TTL sweep)
 	enacted  [][]loid.LOID
 	done     bool
+	inflight bool              // an EnactSchedule is executing now
+	outcome  *proto.EnactReply // recorded result of the first enactment
 }
 
 // Enactor implements the schedule-implementation role. Safe for
@@ -82,6 +100,7 @@ type Enactor struct {
 	call *resilient.Caller // resilient path for negotiation calls
 
 	mu       sync.Mutex
+	cond     *sync.Cond // signals inflight enactments completing
 	requests map[uint64]*heldRequest
 	nextID   uint64
 
@@ -97,6 +116,12 @@ func New(rt *orb.Runtime, cfg Config) *Enactor {
 	if cfg.CallTimeout <= 0 {
 		cfg.CallTimeout = 30 * time.Second
 	}
+	if cfg.DisableResilience {
+		// Applied before AttemptTimeout is derived so the ablation's
+		// single attempt keeps the full CallTimeout, matching the
+		// pre-resilience behaviour it stands in for.
+		cfg.Retry.MaxAttempts = 1
+	}
 	if cfg.Retry.MaxAttempts <= 0 {
 		cfg.Retry.MaxAttempts = 3
 	}
@@ -107,8 +132,8 @@ func New(rt *orb.Runtime, cfg Config) *Enactor {
 		// A hung Host must not consume the whole budget in one attempt.
 		cfg.Retry.AttemptTimeout = cfg.Retry.Budget / time.Duration(cfg.Retry.MaxAttempts)
 	}
-	if cfg.DisableResilience {
-		cfg.Retry.MaxAttempts = 1
+	if cfg.RequestTTL <= 0 {
+		cfg.RequestTTL = 5 * time.Minute
 	}
 	e := &Enactor{
 		ServiceObject: orb.NewServiceObject(rt.Mint("Enactor")),
@@ -116,9 +141,13 @@ func New(rt *orb.Runtime, cfg Config) *Enactor {
 		cfg:           cfg,
 		requests:      make(map[uint64]*heldRequest),
 	}
-	if cfg.DisableResilience {
+	e.cond = sync.NewCond(&e.mu)
+	switch {
+	case cfg.DisableResilience:
 		e.call = resilient.NewCallerWith(rt, cfg.Retry, nil)
-	} else {
+	case cfg.Breakers != nil:
+		e.call = resilient.NewCallerWith(rt, cfg.Retry, cfg.Breakers)
+	default:
 		e.call = resilient.NewCaller(rt, cfg.Retry, cfg.Breaker)
 	}
 	e.installMethods()
@@ -161,6 +190,10 @@ func (e *Enactor) accumulate(s sched.EnactmentStats) {
 // reservations for a later EnactSchedule or CancelReservations keyed by
 // request.ID.
 func (e *Enactor) MakeReservations(ctx context.Context, request sched.RequestList) sched.Feedback {
+	e.mu.Lock()
+	e.reapLocked(time.Now())
+	e.mu.Unlock()
+
 	fb := sched.Feedback{Request: request, MasterIndex: -1}
 	if err := request.Validate(); err != nil {
 		fb.Reason = sched.FailureMalformed
@@ -181,7 +214,9 @@ func (e *Enactor) MakeReservations(ctx context.Context, request sched.RequestLis
 			fb.Resolved = resolved
 			fb.VariantsApplied = applied
 			e.mu.Lock()
-			e.requests[request.ID] = &heldRequest{resolved: resolved, tokens: tokens}
+			e.requests[request.ID] = &heldRequest{
+				resolved: resolved, tokens: tokens, reserved: time.Now(),
+			}
 			e.mu.Unlock()
 			e.accumulate(fb.Stats)
 			return fb
@@ -324,16 +359,50 @@ func (e *Enactor) cancelToken(ctx context.Context, hostL loid.LOID, tok reservat
 func (e *Enactor) EnactSchedule(ctx context.Context, requestID uint64) proto.EnactReply {
 	e.mu.Lock()
 	req, ok := e.requests[requestID]
-	e.mu.Unlock()
 	if !ok {
+		e.mu.Unlock()
 		return proto.EnactReply{Success: false, Detail: ErrUnknownRequest.Error()}
 	}
-	if req.done {
-		// Idempotent at-least-once semantics: a caller retrying after a
-		// lost success reply gets the same outcome, not a failure.
-		return proto.EnactReply{Success: true, Instances: req.enacted}
+	// Exactly one invocation runs the create_instance loop. A concurrent
+	// retry (the server dispatches each request on its own goroutine, and
+	// the Wrapper re-sends enact_schedule after an attempt timeout while
+	// the first invocation may still be executing) waits here for the
+	// in-flight enactment rather than racing a second pass against it —
+	// which would duplicate running instances and let one invocation's
+	// rollback destroy the other's successful enactment.
+	for req.inflight {
+		e.cond.Wait()
 	}
+	if req.outcome != nil {
+		// Idempotent at-least-once semantics: a caller retrying after a
+		// lost reply gets the recorded outcome of the first enactment. A
+		// recorded failure is final too — rollback already cancelled the
+		// reservations, so re-running could never succeed.
+		out := *req.outcome
+		e.mu.Unlock()
+		return out
+	}
+	req.inflight = true
+	e.mu.Unlock()
 
+	out := e.enact(ctx, req)
+
+	e.mu.Lock()
+	req.outcome = &out
+	if out.Success {
+		req.enacted = out.Instances
+		req.done = true
+	}
+	req.inflight = false
+	e.cond.Broadcast()
+	e.mu.Unlock()
+	return out
+}
+
+// enact runs the create_instance loop for a held request. The caller has
+// claimed the request's inflight flag, so exactly one enact runs per
+// request at a time.
+func (e *Enactor) enact(ctx context.Context, req *heldRequest) proto.EnactReply {
 	// create_instance is not idempotent (a duplicate leaks a running
 	// object), so only faults that provably never reached the class
 	// object are retried.
@@ -363,10 +432,6 @@ func (e *Enactor) EnactSchedule(ctx context.Context, requestID uint64) proto.Ena
 		}
 		created[i] = reply.Instances
 	}
-	e.mu.Lock()
-	req.enacted = created
-	req.done = true
-	e.mu.Unlock()
 	return proto.EnactReply{Success: true, Instances: created}
 }
 
@@ -391,6 +456,10 @@ func (e *Enactor) CancelReservations(ctx context.Context, requestID uint64) erro
 	e.mu.Lock()
 	req, ok := e.requests[requestID]
 	if ok {
+		// Never yank reservations out from under a running enactment.
+		for req.inflight {
+			e.cond.Wait()
+		}
 		delete(e.requests, requestID)
 	}
 	e.mu.Unlock()
@@ -418,6 +487,36 @@ func (e *Enactor) Enacted(requestID uint64) ([][]loid.LOID, error) {
 		return nil, ErrNotReserved
 	}
 	return req.enacted, nil
+}
+
+// reapLocked deletes abandoned episodes: requests reserved more than
+// RequestTTL ago that never successfully enacted (including recorded
+// failures the caller stopped retrying). Their unconfirmed grants are
+// reclaimed host-side by the confirmation timeout / reservation reaper;
+// this sweep bounds the Enactor-side map, which would otherwise grow
+// without limit under sustained transport faults (the Wrapper mints a
+// fresh request ID per make_reservations attempt). Callers hold e.mu.
+func (e *Enactor) reapLocked(now time.Time) int {
+	n := 0
+	for id, req := range e.requests {
+		if req.done || req.inflight {
+			continue
+		}
+		if now.Sub(req.reserved) > e.cfg.RequestTTL {
+			delete(e.requests, id)
+			n++
+		}
+	}
+	return n
+}
+
+// ReapRequests sweeps abandoned episodes immediately (the sweep also
+// runs lazily on every MakeReservations) and reports how many request
+// entries were dropped.
+func (e *Enactor) ReapRequests() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.reapLocked(time.Now())
 }
 
 func (e *Enactor) installMethods() {

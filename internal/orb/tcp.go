@@ -295,12 +295,28 @@ func (c *tcpClient) call(ctx context.Context, req request) (any, error) {
 
 	// Encode on a separate goroutine so a wedged connection (peer not
 	// draining, send buffers full) cannot hold the caller past its ctx.
-	// If ctx expires mid-encode the connection is unusable — the stream
-	// is cut mid-message — so the whole client is closed; pending calls
-	// fail fast and the Runtime's eviction hook forces a redial.
+	// If ctx expires while our encode is in flight the connection is
+	// unusable — the stream may be cut mid-message — so the whole client
+	// is closed; pending calls fail fast and the Runtime's eviction hook
+	// forces a redial. But if ctx expires while we are merely QUEUED on
+	// encMu behind another caller's encode, nothing of this message has
+	// touched the wire: the call is abandoned (the goroutine skips the
+	// encode entirely) and the connection stays alive, so one short
+	// per-attempt timeout under load cannot cascade into connection-wide
+	// failures that feed breakers and liveness with false positives.
 	encDone := make(chan error, 1)
+	var sendMu sync.Mutex
+	sendStarted, sendAbandoned := false, false
 	go func() {
 		c.encMu.Lock()
+		sendMu.Lock()
+		if sendAbandoned {
+			sendMu.Unlock()
+			c.encMu.Unlock()
+			return
+		}
+		sendStarted = true
+		sendMu.Unlock()
 		err := c.enc.Encode(&req)
 		c.encMu.Unlock()
 		encDone <- err
@@ -315,10 +331,18 @@ func (c *tcpClient) call(ctx context.Context, req request) (any, error) {
 			return nil, fmt.Errorf("orb: send: %w", err)
 		}
 	case <-ctx.Done():
+		sendMu.Lock()
+		queued := !sendStarted
+		if queued {
+			sendAbandoned = true
+		}
+		sendMu.Unlock()
 		c.mu.Lock()
 		delete(c.pending, req.ID)
 		c.mu.Unlock()
-		c.close(fmt.Errorf("orb: send aborted: %w", ctx.Err()))
+		if !queued {
+			c.close(fmt.Errorf("orb: send aborted: %w", ctx.Err()))
+		}
 		return nil, ctx.Err()
 	}
 

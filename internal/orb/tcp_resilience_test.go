@@ -149,6 +149,63 @@ func TestCallHonorsContextWhenConnectionWedged(t *testing.T) {
 	}
 }
 
+// TestQueuedSendTimeoutLeavesConnectionAlive expires a call's ctx while
+// it is merely queued on the encoder mutex behind another caller's
+// encode. Nothing of its message has touched the wire, so the shared
+// connection must survive: closing it would cascade one short attempt
+// timeout under load into connection-wide failures feeding breakers and
+// liveness with false positives.
+func TestQueuedSendTimeoutLeavesConnectionAlive(t *testing.T) {
+	server := NewRuntime("srv")
+	obj := &slowObj{l: server.Mint("Echo")}
+	server.Register(obj)
+	addr, err := server.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer server.Close()
+
+	client := NewRuntime("cli")
+	defer client.Close()
+	client.Bind(obj.LOID(), addr)
+
+	// Warm the connection, then grab the encoder mutex as a stand-in for
+	// another caller's wedged in-flight encode.
+	if _, err := client.Call(context.Background(), obj.LOID(), "fast", nil); err != nil {
+		t.Fatalf("warm-up call: %v", err)
+	}
+	c, err := client.client(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.encMu.Lock()
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	_, err = client.Call(ctx, obj.LOID(), "fast", nil)
+	c.encMu.Unlock()
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("queued call: err=%v, want deadline exceeded", err)
+	}
+
+	// The connection was never touched: still cached, still alive, no
+	// pending leak, and immediately usable.
+	c.mu.Lock()
+	alive := c.err == nil
+	c.mu.Unlock()
+	if !alive {
+		t.Fatal("client closed by a merely-queued send timeout")
+	}
+	if clientCount(client) != 1 {
+		t.Fatalf("clients cached: %d, want 1 (queued timeout must not evict)", clientCount(client))
+	}
+	if n := pendingCount(client); n != 0 {
+		t.Fatalf("pending requests leaked: %d", n)
+	}
+	if res, err := client.Call(context.Background(), obj.LOID(), "fast", nil); err != nil || res != "done" {
+		t.Fatalf("call after queued timeout: %v %v", res, err)
+	}
+}
+
 // TestCtxExpiryLeavesConnectionUsable cancels a call waiting for a slow
 // response and verifies the shared connection survives for other calls
 // and the abandoned request leaves no pending entry behind.
