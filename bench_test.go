@@ -32,6 +32,7 @@ import (
 	"legion/internal/sched"
 	"legion/internal/scheduler"
 	"legion/internal/sim"
+	"legion/internal/telemetry"
 	"legion/internal/vault"
 )
 
@@ -686,6 +687,66 @@ func BenchmarkE6_MonitoredRebalancing(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		_ = experiments.E6MonitoredRebalancing(20)
 	}
+}
+
+// BenchmarkPlacement measures the full negotiation pipeline with the
+// telemetry layer live ("instrumented": a real registry collecting
+// spans, counters, and histograms) and with it compiled to no-ops
+// ("uninstrumented": telemetry.NewDisabled()). Comparing the two
+// sub-benchmarks bounds the instrumentation overhead; the instrumented
+// run also reports the per-stage mean latencies its histograms
+// accumulated, the numbers a dashboard would read off /metrics.
+func BenchmarkPlacement(b *testing.B) {
+	run := func(b *testing.B, reg *telemetry.Registry) {
+		ms := core.New("uva", core.Options{Seed: 1, Metrics: reg})
+		defer ms.Close()
+		v := ms.AddVault(vault.Config{Zone: "z1"})
+		for i := 0; i < 8; i++ {
+			ms.AddHost(host.Config{
+				Arch: "x86", OS: "Linux", OSVersion: "2.2",
+				CPUs: 8, MemoryMB: 1024, Zone: "z1",
+				Vaults: []loid.LOID{v.LOID()},
+			})
+		}
+		class := ms.DefineClass("Worker", nil)
+		ctx := context.Background()
+		req := scheduler.Request{
+			Classes: []scheduler.ClassRequest{{Class: class.LOID(), Count: 2}},
+			Res:     shareSpec(),
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			out, err := ms.PlaceApplication(ctx, scheduler.IRS{NSched: 3}, req)
+			if err != nil || !out.Success {
+				b.Fatalf("placement failed: %v (%+v)", err, out)
+			}
+			b.StopTimer()
+			for _, insts := range out.Instances {
+				for _, inst := range insts {
+					class.DestroyInstance(ctx, inst)
+				}
+			}
+			ms.Enactor.CancelReservations(ctx, out.RequestID)
+			b.StartTimer()
+		}
+	}
+	b.Run("instrumented", func(b *testing.B) {
+		reg := telemetry.NewRegistry()
+		run(b, reg)
+		for _, stage := range []struct{ metric, unit string }{
+			{"legion_enactor_make_reservations_seconds", "reserve-µs"},
+			{"legion_enactor_enact_schedule_seconds", "enact-µs"},
+			{"legion_host_start_object_seconds", "start-µs"},
+		} {
+			h := reg.Histogram(stage.metric, telemetry.LatencyBuckets)
+			if h.Count() > 0 {
+				b.ReportMetric(h.Mean()*1e6, stage.unit)
+			}
+		}
+	})
+	b.Run("uninstrumented", func(b *testing.B) {
+		run(b, telemetry.NewDisabled())
+	})
 }
 
 // BenchmarkE7_PlacementUnderFaults measures the full placement pipeline

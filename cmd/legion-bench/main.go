@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"legion/internal/experiments"
+	"legion/internal/telemetry"
 )
 
 // experiment couples an ID with its runner.
@@ -104,6 +105,7 @@ func main() {
 		run       = flag.String("run", "", "comma-separated experiment IDs (default: all)")
 		list      = flag.Bool("list", false, "list experiment IDs and exit")
 		faultrate = flag.Float64("faultrate", -1, "inject this fraction of transport faults in E7 (0..1; default: sweep 0%, 5%, 20%)")
+		metrics   = flag.Bool("metrics", false, "after running, dump the accumulated telemetry registry as text")
 	)
 	flag.Parse()
 	if *faultrate >= 0 {
@@ -134,5 +136,14 @@ func main() {
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "no experiments matched %q; try -list\n", *run)
 		os.Exit(1)
+	}
+	if *metrics {
+		// Every experiment's runtimes default to telemetry.Default, so
+		// this is the union of all pipeline activity the run produced.
+		fmt.Println("## telemetry")
+		fmt.Println()
+		fmt.Println("```")
+		telemetry.Default.WriteText(os.Stdout)
+		fmt.Println("```")
 	}
 }

@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"time"
@@ -24,6 +25,7 @@ import (
 	"legion/internal/host"
 	"legion/internal/loid"
 	"legion/internal/proto"
+	"legion/internal/telemetry"
 	"legion/internal/vault"
 )
 
@@ -39,8 +41,21 @@ func main() {
 		osName   = flag.String("os", "Linux", "host OS attribute")
 		reassess = flag.Duration("reassess", 2*time.Second, "host state reassessment interval")
 		seed     = flag.Int64("seed", 1, "scheduling RNG seed")
+		metrics  = flag.String("metrics-addr", "", "HTTP address for the /metrics and /spans endpoints (empty disables)")
 	)
 	flag.Parse()
+
+	if *metrics != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", telemetry.Default.Handler())
+		mux.Handle("/spans", telemetry.Default.SpanHandler())
+		go func() {
+			log.Printf("legiond: telemetry on http://%s/metrics (spans at /spans)", *metrics)
+			if err := http.ListenAndServe(*metrics, mux); err != nil {
+				log.Printf("legiond: telemetry endpoint: %v", err)
+			}
+		}()
+	}
 
 	ms := core.New(*domain, core.Options{Seed: *seed})
 	defer ms.Close()

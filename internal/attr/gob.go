@@ -35,6 +35,9 @@ func (v *Value) GobDecode(data []byte) error {
 	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
 		return fmt.Errorf("attr: gob decode: %w", err)
 	}
+	if w.Kind < KindInvalid || w.Kind > KindList {
+		return fmt.Errorf("attr: gob decode: invalid kind %d", int(w.Kind))
+	}
 	v.kind, v.s, v.i, v.f, v.b, v.l = w.Kind, w.S, w.I, w.F, w.B, w.L
 	return nil
 }

@@ -23,6 +23,8 @@ package chaos
 import (
 	"fmt"
 	"math/rand"
+	"os"
+	"strconv"
 	"sync"
 	"time"
 
@@ -54,9 +56,32 @@ type Site struct {
 type World struct {
 	Sites []*Site
 
+	seed  int64
 	mu    sync.Mutex
 	rng   *rand.Rand
 	rules map[*orb.Runtime][]orb.FaultInjector
+}
+
+// Seed returns the seed the World's fault RNG was built with. Test
+// harnesses log it on failure so a flaky-fault sequence can be replayed
+// exactly (see SeedFromEnv).
+func (w *World) Seed() int64 { return w.seed }
+
+// SeedFromEnv returns the chaos seed to use: the value of the
+// LEGION_CHAOS_SEED environment variable when set and parseable, else
+// fallback. Together with World.Seed this makes chaos runs replayable:
+// a failing run logs its seed, and
+//
+//	LEGION_CHAOS_SEED=<seed> go test ./internal/chaos
+//
+// reproduces the same injected-fault sequence.
+func SeedFromEnv(fallback int64) int64 {
+	if v := os.Getenv("LEGION_CHAOS_SEED"); v != "" {
+		if n, err := strconv.ParseInt(v, 10, 64); err == nil {
+			return n
+		}
+	}
+	return fallback
 }
 
 // NewWorld builds and federates the sites. Every site serves its objects
@@ -67,6 +92,7 @@ type World struct {
 // lockstep).
 func NewWorld(seed int64, opts core.Options, specs ...SiteSpec) (*World, error) {
 	w := &World{
+		seed:  seed,
 		rng:   rand.New(rand.NewSource(seed)),
 		rules: make(map[*orb.Runtime][]orb.FaultInjector),
 	}

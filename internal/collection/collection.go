@@ -38,6 +38,7 @@ import (
 	"legion/internal/orb"
 	"legion/internal/proto"
 	"legion/internal/query"
+	"legion/internal/telemetry"
 )
 
 // Op identifies a Collection mutation for authorization decisions.
@@ -91,6 +92,29 @@ type Collection struct {
 
 	queries atomic.Int64
 	updates atomic.Int64
+
+	met collectionMetrics
+}
+
+// collectionMetrics holds the Collection's telemetry handles, cached at
+// New.
+type collectionMetrics struct {
+	spans     *telemetry.SpanLog
+	domain    string
+	queryTime *telemetry.Histogram
+	querySize *telemetry.Histogram
+	queryErrs *telemetry.Counter
+}
+
+func newCollectionMetrics(rt *orb.Runtime) collectionMetrics {
+	reg := rt.Metrics()
+	return collectionMetrics{
+		spans:     reg.Spans(),
+		domain:    rt.Domain(),
+		queryTime: reg.Histogram("legion_collection_query_seconds", telemetry.LatencyBuckets),
+		querySize: reg.Histogram("legion_collection_query_results", telemetry.SizeBuckets),
+		queryErrs: reg.Counter("legion_collection_query_errors_total"),
+	}
 }
 
 // New creates a Collection, registers its orb methods and itself with rt.
@@ -102,6 +126,7 @@ func New(rt *orb.Runtime, auth Authorizer) *Collection {
 		funcs:         make(map[string]query.Func),
 		auth:          auth,
 		now:           time.Now,
+		met:           newCollectionMetrics(rt),
 	}
 	c.installMethods()
 	rt.Register(c)
@@ -202,6 +227,22 @@ type Record struct {
 // Records with attributes missing from the query simply do not match;
 // genuine type errors fail the whole query.
 func (c *Collection) Query(src string) ([]Record, error) {
+	return c.QueryCtx(context.Background(), src)
+}
+
+// QueryCtx is Query with a caller context, so the query span parents
+// under any span the context carries (e.g. the ORB server span of a
+// remote QueryCollection call).
+func (c *Collection) QueryCtx(ctx context.Context, src string) (_ []Record, err error) {
+	start := time.Now()
+	_, span := c.met.spans.StartIn(ctx, "collection/query", c.met.domain)
+	defer func() {
+		span.Finish(err)
+		c.met.queryTime.ObserveSince(start)
+		if err != nil {
+			c.met.queryErrs.Inc()
+		}
+	}()
 	e, err := query.Parse(src)
 	if err != nil {
 		return nil, err
@@ -227,6 +268,7 @@ func (c *Collection) Query(src string) ([]Record, error) {
 		out = append(out, Record{Member: member, Attrs: pairs, UpdatedAt: r.updatedAt})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Member.Less(out[j].Member) })
+	c.met.querySize.Observe(float64(len(out)))
 	return out, nil
 }
 
@@ -290,12 +332,12 @@ func (c *Collection) installMethods() {
 		}
 		return proto.Ack{}, nil
 	})
-	c.Handle(proto.MethodQueryCollection, func(_ context.Context, arg any) (any, error) {
+	c.Handle(proto.MethodQueryCollection, func(ctx context.Context, arg any) (any, error) {
 		a, ok := arg.(proto.QueryArgs)
 		if !ok {
 			return nil, fmt.Errorf("collection: want QueryArgs, got %T", arg)
 		}
-		recs, err := c.Query(a.Query)
+		recs, err := c.QueryCtx(ctx, a.Query)
 		if err != nil {
 			return nil, err
 		}

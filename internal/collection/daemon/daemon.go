@@ -28,6 +28,7 @@ import (
 	"legion/internal/orb"
 	"legion/internal/proto"
 	"legion/internal/resilient"
+	"legion/internal/telemetry"
 )
 
 // Liveness attribute names deposited alongside pulled attributes.
@@ -101,6 +102,10 @@ func New(rt *orb.Runtime, cfg Config) *Daemon {
 	}
 	if cfg.Liveness == nil {
 		cfg.Liveness = monitor.NewLiveness(3*cfg.Interval, cfg.DownAfter)
+		// A tracker minted here is observed by nothing else, so the
+		// daemon wires the flap counters itself; a caller-supplied
+		// tracker keeps whatever observer the caller installed.
+		wireLivenessCounters(cfg.Liveness, rt.Metrics())
 	}
 	call := resilient.NewCaller(rt, cfg.Retry, cfg.Breaker)
 	if cfg.Breakers != nil {
@@ -115,6 +120,25 @@ func New(rt *orb.Runtime, cfg Config) *Daemon {
 		flagged: make(map[loid.LOID]bool),
 		stop:    make(chan struct{}),
 	}
+}
+
+// wireLivenessCounters counts liveness transitions into reg: one
+// counter per destination state, so up/down flapping is visible as
+// paired `to="up"` / `to="down"` increments.
+func wireLivenessCounters(live *monitor.Liveness, reg *telemetry.Registry) {
+	toUp := reg.Counter("legion_liveness_transitions_total", "to", "up")
+	toDown := reg.Counter("legion_liveness_transitions_total", "to", "down")
+	toStale := reg.Counter("legion_liveness_transitions_total", "to", "stale")
+	live.OnTransition(func(_ loid.LOID, _, to monitor.LivenessState) {
+		switch to {
+		case monitor.LivenessUp:
+			toUp.Inc()
+		case monitor.LivenessDown:
+			toDown.Inc()
+		case monitor.LivenessStale:
+			toStale.Inc()
+		}
+	})
 }
 
 // Liveness returns the tracker the daemon feeds.

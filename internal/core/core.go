@@ -36,6 +36,7 @@ import (
 	"legion/internal/reservation"
 	"legion/internal/resilient"
 	"legion/internal/scheduler"
+	"legion/internal/telemetry"
 	"legion/internal/vault"
 )
 
@@ -55,6 +56,11 @@ type Options struct {
 	// Breaker tunes the shared per-endpoint circuit breakers. The zero
 	// value uses resilient defaults.
 	Breaker resilient.BreakerConfig
+	// Metrics, when non-nil, replaces the process-wide telemetry.Default
+	// registry for this metasystem's runtime and services — tests use a
+	// private registry to assert exact counts, and overhead benchmarks
+	// pass telemetry.NewDisabled().
+	Metrics *telemetry.Registry
 }
 
 // Metasystem is one administrative domain's assembled Legion RMI.
@@ -91,6 +97,11 @@ func New(domain string, opts Options) *Metasystem {
 		opts.Seed = 1
 	}
 	rt := orb.NewRuntime(domain)
+	if opts.Metrics != nil {
+		// Before any service construction: services cache metric handles
+		// from rt.Metrics() in their constructors.
+		rt.SetMetrics(opts.Metrics)
+	}
 	ms := &Metasystem{
 		rt:       rt,
 		opts:     opts,
@@ -98,6 +109,22 @@ func New(domain string, opts Options) *Metasystem {
 		classes:  make(map[string]*classobj.Class),
 		rng:      rand.New(rand.NewSource(opts.Seed)),
 	}
+	// Count breaker state transitions for the whole domain pool: trips
+	// (→open), recoveries (→closed), and probe admissions (→half-open).
+	reg := rt.Metrics()
+	toOpen := reg.Counter("legion_breaker_transitions_total", "to", "open")
+	toClosed := reg.Counter("legion_breaker_transitions_total", "to", "closed")
+	toHalf := reg.Counter("legion_breaker_transitions_total", "to", "half-open")
+	ms.breakers.OnStateChange(func(_, to resilient.State) {
+		switch to {
+		case resilient.Open:
+			toOpen.Inc()
+		case resilient.Closed:
+			toClosed.Inc()
+		case resilient.HalfOpen:
+			toHalf.Inc()
+		}
+	})
 	ms.LegionClass = classobj.New(rt, classobj.Config{Name: "Legion"})
 	ms.HostClass = classobj.New(rt, classobj.Config{Name: "Host", Meta: ms.LegionClass.LOID()})
 	ms.VaultClass = classobj.New(rt, classobj.Config{Name: "Vault", Meta: ms.LegionClass.LOID()})

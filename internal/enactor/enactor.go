@@ -31,6 +31,7 @@ import (
 	"legion/internal/reservation"
 	"legion/internal/resilient"
 	"legion/internal/sched"
+	"legion/internal/telemetry"
 )
 
 // Errors returned by Enactor operations.
@@ -106,6 +107,39 @@ type Enactor struct {
 
 	statsMu sync.Mutex
 	total   sched.EnactmentStats
+
+	met enactorMetrics
+}
+
+// enactorMetrics holds the Enactor's telemetry handles, cached at New so
+// the negotiation hot path does no registry lookups.
+type enactorMetrics struct {
+	spans      *telemetry.SpanLog
+	domain     string
+	requested  *telemetry.Counter
+	granted    *telemetry.Counter
+	cancelled  *telemetry.Counter
+	variants   *telemetry.Counter
+	enactments *telemetry.Counter
+	rollbacks  *telemetry.Counter
+	mresTime   *telemetry.Histogram
+	enactTime  *telemetry.Histogram
+}
+
+func newEnactorMetrics(rt *orb.Runtime) enactorMetrics {
+	reg := rt.Metrics()
+	return enactorMetrics{
+		spans:      reg.Spans(),
+		domain:     rt.Domain(),
+		requested:  reg.Counter("legion_enactor_reservations_requested_total"),
+		granted:    reg.Counter("legion_enactor_reservations_granted_total"),
+		cancelled:  reg.Counter("legion_enactor_reservations_cancelled_total"),
+		variants:   reg.Counter("legion_enactor_variants_tried_total"),
+		enactments: reg.Counter("legion_enactor_enactments_total"),
+		rollbacks:  reg.Counter("legion_enactor_rollbacks_total"),
+		mresTime:   reg.Histogram("legion_enactor_make_reservations_seconds", telemetry.LatencyBuckets),
+		enactTime:  reg.Histogram("legion_enactor_enact_schedule_seconds", telemetry.LatencyBuckets),
+	}
 }
 
 // New creates an Enactor, registers its methods and itself with rt.
@@ -140,6 +174,7 @@ func New(rt *orb.Runtime, cfg Config) *Enactor {
 		rt:            rt,
 		cfg:           cfg,
 		requests:      make(map[uint64]*heldRequest),
+		met:           newEnactorMetrics(rt),
 	}
 	e.cond = sync.NewCond(&e.mu)
 	switch {
@@ -177,12 +212,16 @@ func (e *Enactor) TotalStats() sched.EnactmentStats {
 
 func (e *Enactor) accumulate(s sched.EnactmentStats) {
 	e.statsMu.Lock()
-	defer e.statsMu.Unlock()
 	e.total.ReservationsRequested += s.ReservationsRequested
 	e.total.ReservationsGranted += s.ReservationsGranted
 	e.total.ReservationsCancelled += s.ReservationsCancelled
 	e.total.VariantsTried += s.VariantsTried
 	e.total.MastersTried += s.MastersTried
+	e.statsMu.Unlock()
+	e.met.requested.Add(int64(s.ReservationsRequested))
+	e.met.granted.Add(int64(s.ReservationsGranted))
+	e.met.cancelled.Add(int64(s.ReservationsCancelled))
+	e.met.variants.Add(int64(s.VariantsTried))
 }
 
 // MakeReservations attempts to reserve resources for the request and
@@ -190,6 +229,14 @@ func (e *Enactor) accumulate(s sched.EnactmentStats) {
 // reservations for a later EnactSchedule or CancelReservations keyed by
 // request.ID.
 func (e *Enactor) MakeReservations(ctx context.Context, request sched.RequestList) sched.Feedback {
+	start := time.Now()
+	ctx, span := e.met.spans.StartIn(ctx, "enactor/make_reservations", e.met.domain)
+	var spanErr error
+	defer func() {
+		span.Finish(spanErr)
+		e.met.mresTime.ObserveSince(start)
+	}()
+
 	e.mu.Lock()
 	e.reapLocked(time.Now())
 	e.mu.Unlock()
@@ -198,6 +245,7 @@ func (e *Enactor) MakeReservations(ctx context.Context, request sched.RequestLis
 	if err := request.Validate(); err != nil {
 		fb.Reason = sched.FailureMalformed
 		fb.Detail = err.Error()
+		spanErr = err
 		return fb
 	}
 	spec := request.Res
@@ -224,6 +272,7 @@ func (e *Enactor) MakeReservations(ctx context.Context, request sched.RequestLis
 	}
 	fb.Reason = sched.FailureResources
 	fb.Detail = fmt.Sprintf("no master schedule of %d fully reservable", len(request.Masters))
+	spanErr = errors.New(fb.Detail)
 	e.accumulate(fb.Stats)
 	return fb
 }
@@ -356,7 +405,19 @@ func (e *Enactor) cancelToken(ctx context.Context, hostL loid.LOID, tok reservat
 // resolved mappings, passing the directed placement (§3.4 steps 7-9). On
 // any failure it rolls back: created instances are destroyed and
 // remaining reservations cancelled.
-func (e *Enactor) EnactSchedule(ctx context.Context, requestID uint64) proto.EnactReply {
+func (e *Enactor) EnactSchedule(ctx context.Context, requestID uint64) (reply proto.EnactReply) {
+	start := time.Now()
+	ctx, span := e.met.spans.StartIn(ctx, "enactor/enact_schedule", e.met.domain)
+	defer func() {
+		var spanErr error
+		if !reply.Success {
+			spanErr = errors.New(reply.Detail)
+		}
+		span.Finish(spanErr)
+		e.met.enactTime.ObserveSince(start)
+		e.met.enactments.Inc()
+	}()
+
 	e.mu.Lock()
 	req, ok := e.requests[requestID]
 	if !ok {
@@ -438,6 +499,9 @@ func (e *Enactor) enact(ctx context.Context, req *heldRequest) proto.EnactReply 
 // rollback destroys the instances created so far and cancels the
 // remaining (unredeemed or reusable) reservations.
 func (e *Enactor) rollback(ctx context.Context, req *heldRequest, created [][]loid.LOID, upto int) {
+	ctx, span := e.met.spans.StartIn(ctx, "enactor/rollback", e.met.domain)
+	defer span.Finish(nil)
+	e.met.rollbacks.Inc()
 	var stats sched.EnactmentStats
 	for i := 0; i < upto; i++ {
 		for _, inst := range created[i] {

@@ -42,6 +42,7 @@ import (
 	"legion/internal/proto"
 	"legion/internal/reservation"
 	"legion/internal/rge"
+	"legion/internal/telemetry"
 )
 
 // Errors returned by Host operations.
@@ -152,6 +153,30 @@ type Host struct {
 
 	startsTotal  int64
 	reassessions int64
+
+	met hostMetrics
+}
+
+// hostMetrics holds the Host's telemetry handles, cached at New.
+type hostMetrics struct {
+	spans     *telemetry.SpanLog
+	domain    string
+	granted   *telemetry.Counter
+	refused   *telemetry.Counter
+	starts    *telemetry.Counter
+	startTime *telemetry.Histogram
+}
+
+func newHostMetrics(rt *orb.Runtime) hostMetrics {
+	reg := rt.Metrics()
+	return hostMetrics{
+		spans:     reg.Spans(),
+		domain:    rt.Domain(),
+		granted:   reg.Counter("legion_host_reservations_granted_total"),
+		refused:   reg.Counter("legion_host_reservations_refused_total"),
+		starts:    reg.Counter("legion_host_object_starts_total"),
+		startTime: reg.Histogram("legion_host_start_object_seconds", telemetry.LatencyBuckets),
+	}
 }
 
 // pushTarget is a Collection this host pushes state to on reassessment.
@@ -195,6 +220,10 @@ func New(rt *orb.Runtime, cfg Config) *Host {
 		now:           time.Now,
 	}
 	h.table = reservation.NewTable(h.LOID(), cfg.MaxShared, cfg.ReservationTimeout)
+	h.met = newHostMetrics(rt)
+	// All Hosts on one runtime share the aggregate occupancy gauge; the
+	// table pushes deltas into it on every grant/cancel/expiry.
+	h.table.SetGauge(rt.Metrics().Gauge("legion_reservations_active"))
 	h.trigs = rge.NewTriggerSet(h.LOID())
 	h.attrs = attr.NewSet(
 		attr.Pair{Name: "host_arch", Value: attr.String(cfg.Arch)},
@@ -410,21 +439,29 @@ func (h *Host) MakeReservation(ctx context.Context, req proto.MakeReservationArg
 	// 1. Local placement policy (site autonomy comes first).
 	if h.cfg.Policy != nil {
 		if err := h.cfg.Policy(req); err != nil {
+			h.met.refused.Inc()
 			return nil, err
 		}
 	}
 	// 2. Vault reachable and compatible.
 	if err := h.vaultOK(ctx, req.Vault); err != nil {
+		h.met.refused.Inc()
 		return nil, err
 	}
 	// 3. Sufficient resources: the reservation table's admission rules.
-	return h.table.Make(reservation.Request{
+	tok, err := h.table.Make(reservation.Request{
 		Vault:    req.Vault,
 		Type:     req.Type,
 		Start:    req.Start,
 		Duration: req.Duration,
 		Timeout:  req.Timeout,
 	})
+	if err != nil {
+		h.met.refused.Inc()
+		return nil, err
+	}
+	h.met.granted.Inc()
+	return tok, nil
 }
 
 // CheckReservation validates a token without consuming it.
@@ -472,7 +509,13 @@ func (h *Host) CompatibleVaults() []loid.LOID {
 // On a Unix Host activation is immediate; on a Batch Queue Host each
 // instance is submitted as a job and this call blocks until dispatch (or
 // ctx cancellation).
-func (h *Host) StartObject(ctx context.Context, req proto.StartObjectArgs) ([]loid.LOID, error) {
+func (h *Host) StartObject(ctx context.Context, req proto.StartObjectArgs) (_ []loid.LOID, err error) {
+	start := time.Now()
+	ctx, span := h.met.spans.StartIn(ctx, "host/startObject", h.met.domain)
+	defer func() {
+		span.Finish(err)
+		h.met.startTime.ObserveSince(start)
+	}()
 	if len(req.Instances) == 0 {
 		return nil, errors.New("host: StartObject with no instances")
 	}
@@ -498,6 +541,7 @@ func (h *Host) StartObject(ctx context.Context, req proto.StartObjectArgs) ([]lo
 	h.mu.Lock()
 	h.startsTotal += int64(len(started))
 	h.mu.Unlock()
+	h.met.starts.Add(int64(len(started)))
 	return started, nil
 }
 

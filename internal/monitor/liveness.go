@@ -53,6 +53,9 @@ type Liveness struct {
 	downAfter int
 	clock     func() time.Time
 	entries   map[loid.LOID]*livenessEntry
+	// onChange observes state transitions seen at Beat/Fail events
+	// (passive staleness is not reported — nothing observes it happen).
+	onChange func(r loid.LOID, from, to LivenessState)
 }
 
 type livenessEntry struct {
@@ -85,6 +88,16 @@ func (l *Liveness) SetClock(fn func() time.Time) {
 	l.clock = fn
 }
 
+// OnTransition installs an observer invoked (outside the tracker's
+// lock) whenever a Beat or Fail changes a resource's classification —
+// the telemetry layer counts up/down flaps with this. At most one
+// observer; nil clears it.
+func (l *Liveness) OnTransition(fn func(r loid.LOID, from, to LivenessState)) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.onChange = fn
+}
+
 func (l *Liveness) entry(r loid.LOID) *livenessEntry {
 	e, ok := l.entries[r]
 	if !ok {
@@ -97,21 +110,34 @@ func (l *Liveness) entry(r loid.LOID) *livenessEntry {
 // Beat records a successful contact with r, resetting its failure streak.
 func (l *Liveness) Beat(r loid.LOID) {
 	l.mu.Lock()
-	defer l.mu.Unlock()
+	before := l.stateLocked(r)
 	e := l.entry(r)
 	e.lastBeat = l.clock()
 	e.beaten = true
 	e.failures = 0
+	after := l.stateLocked(r)
+	fn := l.onChange
+	l.mu.Unlock()
+	if fn != nil && before != after {
+		fn(r, before, after)
+	}
 }
 
 // Fail records a failed probe of r and returns the consecutive-failure
 // count.
 func (l *Liveness) Fail(r loid.LOID) int {
 	l.mu.Lock()
-	defer l.mu.Unlock()
+	before := l.stateLocked(r)
 	e := l.entry(r)
 	e.failures++
-	return e.failures
+	n := e.failures
+	after := l.stateLocked(r)
+	fn := l.onChange
+	l.mu.Unlock()
+	if fn != nil && before != after {
+		fn(r, before, after)
+	}
+	return n
 }
 
 // State classifies r now.

@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"legion/internal/loid"
+	"legion/internal/telemetry"
 )
 
 // Object is an active Legion object that can receive method calls.
@@ -95,6 +96,7 @@ type Runtime struct {
 	latency time.Duration
 	jitter  time.Duration
 	tracer  CallTracer
+	metrics *telemetry.Registry
 
 	rngMu sync.Mutex
 	rng   *rand.Rand
@@ -112,6 +114,7 @@ func NewRuntime(domain string) *Runtime {
 		domains: make(map[string]string),
 		clients: make(map[string]*tcpClient),
 		rng:     rand.New(rand.NewSource(1)),
+		metrics: telemetry.Default,
 	}
 }
 
@@ -205,6 +208,25 @@ func (rt *Runtime) SetTracer(t CallTracer) {
 	rt.hooksMu.Lock()
 	defer rt.hooksMu.Unlock()
 	rt.tracer = t
+}
+
+// SetMetrics replaces the runtime's telemetry registry (by default the
+// process-wide telemetry.Default). Call it before constructing services
+// on the runtime: services cache metric handles at construction.
+func (rt *Runtime) SetMetrics(reg *telemetry.Registry) {
+	if reg == nil {
+		reg = telemetry.Default
+	}
+	rt.hooksMu.Lock()
+	defer rt.hooksMu.Unlock()
+	rt.metrics = reg
+}
+
+// Metrics returns the runtime's telemetry registry.
+func (rt *Runtime) Metrics() *telemetry.Registry {
+	rt.hooksMu.RLock()
+	defer rt.hooksMu.RUnlock()
+	return rt.metrics
 }
 
 // Call synchronously invokes method on the object named target, passing

@@ -8,8 +8,10 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"legion/internal/loid"
+	"legion/internal/telemetry"
 )
 
 // RegisterWireType registers a concrete type for transmission inside the
@@ -17,12 +19,17 @@ import (
 // call this from init(); it wraps encoding/gob registration.
 func RegisterWireType(v any) { gob.Register(v) }
 
-// request is one method invocation on the wire.
+// request is one method invocation on the wire. TraceID/SpanID carry
+// the caller's active telemetry span (zero when the caller has none) so
+// the serving runtime's spans parent under it — this is how one
+// placement request is followed across runtimes.
 type request struct {
-	ID     uint64
-	Target wireLOID
-	Method string
-	Arg    any
+	ID      uint64
+	Target  wireLOID
+	Method  string
+	Arg     any
+	TraceID uint64
+	SpanID  uint64
 }
 
 // wireLOID mirrors loid.LOID for gob (kept separate so the loid package
@@ -191,7 +198,21 @@ func (s *tcpServer) serveConn(conn net.Conn) {
 		go func(req request) {
 			defer reqWG.Done()
 			target := loidFromWire(req.Target)
-			res, err := s.rt.Call(s.ctx, target, req.Method, req.Arg)
+			// Re-install the caller's span from the wire metadata and
+			// record a server-side span + latency/error observation for
+			// this method.
+			ctx := telemetry.WithRemoteParent(s.ctx,
+				telemetry.SpanContext{TraceID: req.TraceID, SpanID: req.SpanID})
+			reg := s.rt.Metrics()
+			ctx, span := reg.Spans().StartIn(ctx, "rpc/"+req.Method, s.rt.Domain())
+			start := time.Now()
+			res, err := s.rt.Call(ctx, target, req.Method, req.Arg)
+			span.Finish(err)
+			reg.Histogram("legion_orb_server_seconds", telemetry.LatencyBuckets,
+				"method", req.Method).ObserveSince(start)
+			if err != nil {
+				reg.Counter("legion_orb_server_errors_total", "method", req.Method).Inc()
+			}
 			kind, msg := encodeErr(err)
 			resp := response{ID: req.ID, Result: res, ErrMsg: msg, ErrKind: kind}
 			encMu.Lock()
@@ -390,15 +411,31 @@ func (rt *Runtime) client(addr string) (*tcpClient, error) {
 }
 
 func (rt *Runtime) callRemote(ctx context.Context, addr string, target loid.LOID, method string, arg any) (any, error) {
+	reg := rt.Metrics()
+	start := time.Now()
+	res, err := rt.callRemoteRaw(ctx, addr, target, method, arg)
+	reg.Histogram("legion_orb_client_seconds", telemetry.LatencyBuckets,
+		"method", method).ObserveSince(start)
+	if err != nil {
+		reg.Counter("legion_orb_client_errors_total", "method", method).Inc()
+	}
+	return res, err
+}
+
+func (rt *Runtime) callRemoteRaw(ctx context.Context, addr string, target loid.LOID, method string, arg any) (any, error) {
 	c, err := rt.client(addr)
 	if err != nil {
 		return nil, err
 	}
-	return c.call(ctx, request{
+	req := request{
 		Target: wireLOID{Domain: target.Domain, Class: target.Class, Instance: target.Instance},
 		Method: method,
 		Arg:    arg,
-	})
+	}
+	if sc, ok := telemetry.SpanFromContext(ctx); ok {
+		req.TraceID, req.SpanID = sc.TraceID, sc.SpanID
+	}
+	return c.call(ctx, req)
 }
 
 func loidFromWire(w wireLOID) loid.LOID {

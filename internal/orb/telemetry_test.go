@@ -1,0 +1,97 @@
+package orb
+
+import (
+	"context"
+	"testing"
+
+	"legion/internal/telemetry"
+)
+
+// TestSpanPropagationOverTCP drives a real TCP round-trip and checks
+// that the client-side span's identity crosses the wire: the server's
+// rpc/<method> span must join the client's trace with the client span
+// as its parent.
+func TestSpanPropagationOverTCP(t *testing.T) {
+	server := NewRuntime("uva")
+	defer server.Close()
+	serverReg := telemetry.NewRegistry()
+	server.SetMetrics(serverReg)
+	obj := newEcho(server)
+	addr, err := server.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	client := NewRuntime("sdsc")
+	defer client.Close()
+	clientReg := telemetry.NewRegistry()
+	client.SetMetrics(clientReg)
+	client.Bind(obj.LOID(), addr)
+
+	ctx, span := clientReg.Spans().StartIn(context.Background(), "test/placement", "sdsc")
+	if _, err := client.Call(ctx, obj.LOID(), "double", echoArg{N: 3, S: "y"}); err != nil {
+		t.Fatal(err)
+	}
+	span.Finish(nil)
+	sc := span.Context()
+
+	rpc := serverReg.Spans().ByName("rpc/double")
+	if len(rpc) != 1 {
+		t.Fatalf("server recorded %d rpc/double spans, want 1", len(rpc))
+	}
+	got := rpc[0]
+	if got.TraceID != sc.TraceID {
+		t.Errorf("server span trace %016x, want client trace %016x", got.TraceID, sc.TraceID)
+	}
+	if got.ParentID != sc.SpanID {
+		t.Errorf("server span parent %016x, want client span %016x", got.ParentID, sc.SpanID)
+	}
+	if got.Runtime != "uva" {
+		t.Errorf("server span runtime %q, want uva", got.Runtime)
+	}
+	if got.Duration <= 0 {
+		t.Error("server span duration must be positive")
+	}
+
+	// Client/server call metrics landed in the right registries.
+	if n := clientReg.Histogram("legion_orb_client_seconds", telemetry.LatencyBuckets, "method", "double").Count(); n != 1 {
+		t.Errorf("client histogram count = %d, want 1", n)
+	}
+	if n := serverReg.Histogram("legion_orb_server_seconds", telemetry.LatencyBuckets, "method", "double").Count(); n != 1 {
+		t.Errorf("server histogram count = %d, want 1", n)
+	}
+	if n := serverReg.CounterValue("legion_orb_server_errors_total", "method", "double"); n != 0 {
+		t.Errorf("server error counter = %d, want 0", n)
+	}
+}
+
+// TestCallWithoutSpanStillServes: requests carrying no span context must
+// be served normally and open a fresh trace on the server.
+func TestCallWithoutSpanStillServes(t *testing.T) {
+	server := NewRuntime("uva")
+	defer server.Close()
+	serverReg := telemetry.NewRegistry()
+	server.SetMetrics(serverReg)
+	obj := newEcho(server)
+	addr, err := server.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	client := NewRuntime("sdsc")
+	defer client.Close()
+	client.SetMetrics(telemetry.NewRegistry())
+	client.Bind(obj.LOID(), addr)
+
+	if _, err := client.Call(context.Background(), obj.LOID(), "echo", echoArg{N: 1}); err != nil {
+		t.Fatal(err)
+	}
+	rpc := serverReg.Spans().ByName("rpc/echo")
+	if len(rpc) != 1 {
+		t.Fatalf("server recorded %d rpc/echo spans, want 1", len(rpc))
+	}
+	if rpc[0].TraceID == 0 || rpc[0].ParentID != 0 {
+		t.Errorf("span without remote parent: trace=%d parent=%d, want fresh trace with no parent",
+			rpc[0].TraceID, rpc[0].ParentID)
+	}
+}

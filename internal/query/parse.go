@@ -4,10 +4,18 @@ import (
 	"legion/internal/attr"
 )
 
+// maxDepth bounds expression nesting ("not" chains, parentheses, call
+// arguments). Without it a hostile query of a few thousand bytes —
+// "not not not ..." or "((((..." — drives the recursive-descent parser
+// into stack exhaustion, which in Go is an unrecoverable crash of the
+// whole Collection process, not a catchable panic.
+const maxDepth = 200
+
 // parser is a recursive-descent parser over the token stream.
 type parser struct {
-	lex *lexer
-	tok token // one-token lookahead
+	lex   *lexer
+	tok   token // one-token lookahead
+	depth int   // current expression nesting, bounded by maxDepth
 }
 
 // Parse parses a query expression. The returned Expr is immutable and safe
@@ -85,7 +93,15 @@ func (p *parser) parseAnd() (Expr, error) {
 	return lhs, nil
 }
 
+// parseNot sits on every recursion cycle through the grammar (paren
+// groups and call arguments re-enter via parseOr, which reaches here;
+// "not" recurses directly), so the depth guard lives here alone.
 func (p *parser) parseNot() (Expr, error) {
+	p.depth++
+	defer func() { p.depth-- }()
+	if p.depth > maxDepth {
+		return nil, p.errf("expression nested deeper than %d levels", maxDepth)
+	}
 	if p.tok.kind == tokIdent && p.tok.text == "not" {
 		if err := p.advance(); err != nil {
 			return nil, err

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"legion/internal/loid"
+	"legion/internal/telemetry"
 )
 
 // Admission errors returned by Table operations.
@@ -79,6 +80,11 @@ type Table struct {
 	// no timeout.
 	defaultTimeout time.Duration
 
+	// gauge, when set, tracks live-entry occupancy (see SetGauge);
+	// gaugeCount is this table's last-reported contribution.
+	gauge      *telemetry.Gauge
+	gaugeCount int64
+
 	now func() time.Time
 }
 
@@ -100,6 +106,27 @@ func (tb *Table) SetClock(now func() time.Time) {
 	tb.mu.Lock()
 	defer tb.mu.Unlock()
 	tb.now = now
+}
+
+// SetGauge attaches an occupancy gauge tracking the number of live
+// (granted, uncancelled, unexpired) reservations. Updates are deltas,
+// so several tables (the Hosts of one site) may share one aggregate
+// gauge. The owning Host wires this to its runtime's registry; a nil
+// gauge is a no-op.
+func (tb *Table) SetGauge(g *telemetry.Gauge) {
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	tb.gauge = g
+	tb.gaugeCount = int64(len(tb.entries))
+	g.Add(tb.gaugeCount)
+}
+
+// syncGaugeLocked pushes the live-entry count delta into the gauge;
+// callers hold tb.mu and must call it after any entries-map mutation.
+func (tb *Table) syncGaugeLocked() {
+	n := int64(len(tb.entries))
+	tb.gauge.Add(n - tb.gaugeCount)
+	tb.gaugeCount = n
 }
 
 // Make attempts to grant a reservation. On success it returns a signed
@@ -159,6 +186,7 @@ func (tb *Table) Make(req Request) (*Token, error) {
 	}
 	tb.signer.Sign(&tok)
 	tb.entries[tok.ID] = &entry{tok: tok, issuedAt: now}
+	tb.syncGaugeLocked()
 	return &tok, nil
 }
 
@@ -240,6 +268,7 @@ func (tb *Table) Cancel(t *Token) error {
 	}
 	e.cancelled = true
 	delete(tb.entries, t.ID)
+	tb.syncGaugeLocked()
 	return nil
 }
 
@@ -275,4 +304,5 @@ func (tb *Table) gcLocked(now time.Time) {
 			delete(tb.entries, id)
 		}
 	}
+	tb.syncGaugeLocked()
 }

@@ -84,6 +84,29 @@ type Breaker struct {
 	openedAt time.Time // when the breaker last opened
 	probes   int       // in-flight probes (half-open state)
 	now      func() time.Time
+	onChange func(from, to State) // observer, invoked outside mu
+}
+
+// OnStateChange installs an observer invoked (outside the breaker's
+// lock) on every state transition — the telemetry layer counts trips
+// and recoveries with this. At most one observer; nil clears it.
+func (b *Breaker) OnStateChange(fn func(from, to State)) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.onChange = fn
+}
+
+// transitionLocked moves the breaker to state to and returns a function
+// the caller must run after releasing b.mu (nil-safe) to notify the
+// observer.
+func (b *Breaker) transitionLocked(to State) func() {
+	from := b.state
+	b.state = to
+	fn := b.onChange
+	if fn == nil || from == to {
+		return func() {}
+	}
+	return func() { fn(from, to) }
 }
 
 // NewBreaker creates a closed breaker.
@@ -112,8 +135,9 @@ func (b *Breaker) State() State {
 // Allow asks permission to place one call. It returns nil (call may
 // proceed; the caller must Record the outcome) or ErrCircuitOpen.
 func (b *Breaker) Allow() error {
+	notify := func() {}
 	b.mu.Lock()
-	defer b.mu.Unlock()
+	defer func() { b.mu.Unlock(); notify() }()
 	switch b.state {
 	case Closed:
 		return nil
@@ -123,7 +147,7 @@ func (b *Breaker) Allow() error {
 		}
 		// Cooldown elapsed: transition to half-open and admit this call
 		// as the first probe.
-		b.state = HalfOpen
+		notify = b.transitionLocked(HalfOpen)
 		b.probes = 1
 		return nil
 	default: // HalfOpen
@@ -140,21 +164,22 @@ func (b *Breaker) Allow() error {
 // a transport fault counts toward opening.
 func (b *Breaker) Record(err error) {
 	class := Classify(err)
+	notify := func() {}
 	b.mu.Lock()
-	defer b.mu.Unlock()
+	defer func() { b.mu.Unlock(); notify() }()
 	switch b.state {
 	case HalfOpen:
 		if b.probes > 0 {
 			b.probes--
 		}
 		if class == ClassRetryable {
-			b.state = Open
+			notify = b.transitionLocked(Open)
 			b.openedAt = b.now()
 			b.failures = 0
 			return
 		}
 		// The probe reached the endpoint: recover.
-		b.state = Closed
+		notify = b.transitionLocked(Closed)
 		b.failures = 0
 	case Closed:
 		if class != ClassRetryable {
@@ -163,7 +188,7 @@ func (b *Breaker) Record(err error) {
 		}
 		b.failures++
 		if b.failures >= b.cfg.threshold() {
-			b.state = Open
+			notify = b.transitionLocked(Open)
 			b.openedAt = b.now()
 			b.failures = 0
 		}
@@ -176,19 +201,21 @@ func (b *Breaker) Record(err error) {
 // endpoint is declared down out-of-band).
 func (b *Breaker) Trip() {
 	b.mu.Lock()
-	defer b.mu.Unlock()
-	b.state = Open
+	notify := b.transitionLocked(Open)
 	b.openedAt = b.now()
 	b.failures = 0
+	b.mu.Unlock()
+	notify()
 }
 
 // Reset forces the breaker closed.
 func (b *Breaker) Reset() {
 	b.mu.Lock()
-	defer b.mu.Unlock()
-	b.state = Closed
+	notify := b.transitionLocked(Closed)
 	b.failures = 0
 	b.probes = 0
+	b.mu.Unlock()
+	notify()
 }
 
 // BreakerSet holds one Breaker per endpoint key (a LOID string or TCP
@@ -196,9 +223,10 @@ func (b *Breaker) Reset() {
 type BreakerSet struct {
 	cfg BreakerConfig
 
-	mu    sync.Mutex
-	m     map[string]*Breaker
-	clock func() time.Time // non-nil after SetClock; applied to new breakers
+	mu       sync.Mutex
+	m        map[string]*Breaker
+	clock    func() time.Time     // non-nil after SetClock; applied to new breakers
+	onChange func(from, to State) // applied to current and new breakers
 }
 
 // NewBreakerSet creates an empty set minting breakers with cfg.
@@ -216,9 +244,24 @@ func (s *BreakerSet) For(key string) *Breaker {
 		if s.clock != nil {
 			b.SetClock(s.clock)
 		}
+		if s.onChange != nil {
+			b.OnStateChange(s.onChange)
+		}
 		s.m[key] = b
 	}
 	return b
+}
+
+// OnStateChange installs a transition observer on every current and
+// future breaker in the set — one counter hook covers a whole domain's
+// endpoints.
+func (s *BreakerSet) OnStateChange(fn func(from, to State)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.onChange = fn
+	for _, b := range s.m {
+		b.OnStateChange(fn)
+	}
 }
 
 // States snapshots every known endpoint's state.
