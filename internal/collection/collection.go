@@ -74,10 +74,40 @@ var (
 	ErrNotMember = errors.New("collection: not a member")
 )
 
-// record is one member's stored description.
+// record is one member's stored description. Records are immutable
+// copy-on-write snapshots: mutators build a replacement record and swap
+// the pointer under the write lock, so queries capture a consistent
+// snapshot with a brief read lock and evaluate entirely outside it, and
+// query results share the pre-sorted pairs slice instead of deep-copying
+// and re-sorting the attributes per match.
 type record struct {
 	attrs     map[string]attr.Value
+	pairs     []attr.Pair // sorted by name; shared with query results
 	updatedAt time.Time
+}
+
+// newRecord builds the successor of old (nil for a fresh member) with
+// attrs merged in. Neither old nor the result is ever mutated afterwards.
+func newRecord(old *record, attrs []attr.Pair, at time.Time) *record {
+	n := len(attrs)
+	if old != nil {
+		n += len(old.attrs)
+	}
+	m := make(map[string]attr.Value, n)
+	if old != nil {
+		for k, v := range old.attrs {
+			m[k] = v
+		}
+	}
+	for _, p := range attrs {
+		m[p.Name] = p.Value
+	}
+	pairs := make([]attr.Pair, 0, len(m))
+	for k, v := range m {
+		pairs = append(pairs, attr.Pair{Name: k, Value: v})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].Name < pairs[j].Name })
+	return &record{attrs: m, pairs: pairs, updatedAt: at}
 }
 
 // Collection is a Legion Collection object. Safe for concurrent use.
@@ -104,6 +134,7 @@ type collectionMetrics struct {
 	queryTime *telemetry.Histogram
 	querySize *telemetry.Histogram
 	queryErrs *telemetry.Counter
+	evalSkips *telemetry.Counter
 }
 
 func newCollectionMetrics(rt *orb.Runtime) collectionMetrics {
@@ -114,6 +145,7 @@ func newCollectionMetrics(rt *orb.Runtime) collectionMetrics {
 		queryTime: reg.Histogram("legion_collection_query_seconds", telemetry.LatencyBuckets),
 		querySize: reg.Histogram("legion_collection_query_results", telemetry.SizeBuckets),
 		queryErrs: reg.Counter("legion_collection_query_errors_total"),
+		evalSkips: reg.Counter("legion_collection_query_eval_skips"),
 	}
 }
 
@@ -141,11 +173,19 @@ func (c *Collection) SetClock(now func() time.Time) {
 }
 
 // InjectFunc installs a user function callable from queries (§3.2
-// function injection). Injected functions shadow built-ins.
+// function injection). Injected functions shadow built-ins. The function
+// table is copy-on-write: queries snapshot the current table and keep
+// using it outside the lock, so injected functions must be safe for
+// concurrent calls.
 func (c *Collection) InjectFunc(name string, f query.Func) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.funcs[name] = f
+	funcs := make(map[string]query.Func, len(c.funcs)+1)
+	for k, v := range c.funcs {
+		funcs[k] = v
+	}
+	funcs[name] = f
+	c.funcs = funcs
 }
 
 func (c *Collection) authorize(op Op, member loid.LOID, credential string) error {
@@ -169,15 +209,7 @@ func (c *Collection) Join(member loid.LOID, attrs []attr.Pair, credential string
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	r, ok := c.records[member]
-	if !ok {
-		r = &record{attrs: make(map[string]attr.Value)}
-		c.records[member] = r
-	}
-	for _, p := range attrs {
-		r.attrs[p.Name] = p.Value
-	}
-	r.updatedAt = c.now()
+	c.records[member] = newRecord(c.records[member], attrs, c.now())
 	return nil
 }
 
@@ -203,14 +235,11 @@ func (c *Collection) Update(member loid.LOID, attrs []attr.Pair, credential stri
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	r, ok := c.records[member]
+	old, ok := c.records[member]
 	if !ok {
 		return fmt.Errorf("%w: %v", ErrNotMember, member)
 	}
-	for _, p := range attrs {
-		r.attrs[p.Name] = p.Value
-	}
-	r.updatedAt = c.now()
+	c.records[member] = newRecord(old, attrs, c.now())
 	c.updates.Add(1)
 	return nil
 }
@@ -224,8 +253,11 @@ type Record struct {
 
 // Query evaluates a query-language expression against every record and
 // returns the matches sorted by member LOID (deterministic order).
-// Records with attributes missing from the query simply do not match;
-// genuine type errors fail the whole query.
+// Records with attributes missing from the query simply do not match. A
+// record whose evaluation errors (e.g. a bad injected-func value on a
+// single host) is skipped — counted in the
+// legion_collection_query_eval_skips counter — rather than failing the
+// whole query; only a parse error fails the call.
 func (c *Collection) Query(src string) ([]Record, error) {
 	return c.QueryCtx(context.Background(), src)
 }
@@ -247,25 +279,42 @@ func (c *Collection) QueryCtx(ctx context.Context, src string) (_ []Record, err 
 	if err != nil {
 		return nil, err
 	}
+
+	// Snapshot under a brief read lock: records are immutable
+	// copy-on-write values and the function table is swapped wholesale on
+	// InjectFunc, so both stay valid after the lock is released and the
+	// (possibly slow) evaluation below never stalls Join/Update.
+	type candidate struct {
+		member loid.LOID
+		rec    *record
+	}
 	c.mu.RLock()
-	defer c.mu.RUnlock()
 	c.queries.Add(1)
-	var out []Record
+	funcs := c.funcs
+	snap := make([]candidate, 0, len(c.records))
 	for member, r := range c.records {
-		env := &query.Env{Rec: query.MapRecord(r.attrs), Funcs: c.funcs}
+		snap = append(snap, candidate{member: member, rec: r})
+	}
+	c.mu.RUnlock()
+
+	var out []Record
+	skips := 0
+	for _, cand := range snap {
+		env := &query.Env{Rec: query.MapRecord(cand.rec.attrs), Funcs: funcs}
 		ok, err := query.EvalEnv(e, env)
 		if err != nil {
-			return nil, fmt.Errorf("collection: evaluating against %v: %w", member, err)
+			// One record's bad value must not hide every other resource
+			// from the scheduler: skip it and report the rest.
+			skips++
+			continue
 		}
 		if !ok {
 			continue
 		}
-		pairs := make([]attr.Pair, 0, len(r.attrs))
-		for k, v := range r.attrs {
-			pairs = append(pairs, attr.Pair{Name: k, Value: v})
-		}
-		sort.Slice(pairs, func(i, j int) bool { return pairs[i].Name < pairs[j].Name })
-		out = append(out, Record{Member: member, Attrs: pairs, UpdatedAt: r.updatedAt})
+		out = append(out, Record{Member: cand.member, Attrs: cand.rec.pairs, UpdatedAt: cand.rec.updatedAt})
+	}
+	if skips > 0 {
+		c.met.evalSkips.Add(int64(skips))
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Member.Less(out[j].Member) })
 	c.met.querySize.Observe(float64(len(out)))

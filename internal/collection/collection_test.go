@@ -13,6 +13,7 @@ import (
 	"legion/internal/orb"
 	"legion/internal/proto"
 	"legion/internal/query"
+	"legion/internal/telemetry"
 )
 
 func member(i uint64) loid.LOID {
@@ -122,19 +123,105 @@ func TestAuthorization(t *testing.T) {
 }
 
 func TestQueryErrors(t *testing.T) {
-	c := New(orb.NewRuntime("uva"), nil)
+	rt := orb.NewRuntime("uva")
+	reg := telemetry.NewRegistry()
+	rt.SetMetrics(reg)
+	c := New(rt, nil)
 	c.Join(member(1), hostAttrs("IRIX", "5.3", 0.2), "")
+	c.Join(member(2), hostAttrs("Linux", "2.2", 0.1), "")
+	// Make member 2's host_load a string so numeric comparisons on it
+	// error during evaluation.
+	c.Update(member(2), []attr.Pair{{Name: "host_load", Value: attr.String("busted")}}, "")
 	if _, err := c.Query("((("); err == nil {
 		t.Error("bad syntax accepted")
 	}
-	// Type error during evaluation is reported.
-	if _, err := c.Query(`$host_os_name < 5`); err == nil {
-		t.Error("type error not reported")
+	// A type error on one record skips that record — counted — and
+	// returns the rest, rather than hiding every resource behind one bad
+	// value.
+	recs, err := c.Query(`$host_load < 5`)
+	if err != nil {
+		t.Fatalf("query with one bad record: %v", err)
+	}
+	if len(recs) != 1 || recs[0].Member != member(1) {
+		t.Errorf("bad record not skipped: %+v", recs)
+	}
+	if got := reg.CounterValue("legion_collection_query_eval_skips"); got != 1 {
+		t.Errorf("eval skips = %d, want 1", got)
 	}
 	// Missing attributes are not errors: record simply does not match.
-	recs, err := c.Query(`$no_such_attr == 1`)
+	recs, err = c.Query(`$no_such_attr == 1`)
 	if err != nil || len(recs) != 0 {
 		t.Errorf("missing attr: %v %v", recs, err)
+	}
+	if got := reg.CounterValue("legion_collection_query_eval_skips"); got != 1 {
+		t.Errorf("eval skips after missing-attr query = %d, want 1", got)
+	}
+}
+
+// TestQueryDoesNotHoldLockDuringEval is the regression test for the
+// pre-COW behaviour where Query held the Collection RLock across
+// evaluation and injected functions, so one slow NWS-style func stalled
+// every Join/Update until the whole scan finished.
+func TestQueryDoesNotHoldLockDuringEval(t *testing.T) {
+	c := New(orb.NewRuntime("uva"), nil)
+	for i := uint64(1); i <= 4; i++ {
+		c.Join(member(i), hostAttrs("Linux", "2.2", 0.5), "")
+	}
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	c.InjectFunc("slow_forecast", func(query.Record, []attr.Value) (attr.Value, error) {
+		once.Do(func() { close(entered) })
+		<-release
+		return attr.Float(0.1), nil
+	})
+
+	queryDone := make(chan error, 1)
+	go func() {
+		_, err := c.Query(`slow_forecast() < 0.5`)
+		queryDone <- err
+	}()
+	<-entered // the query is now mid-evaluation
+
+	// Join and Update must complete while the query is still blocked
+	// inside the injected function.
+	writeDone := make(chan struct{})
+	go func() {
+		c.Join(member(99), hostAttrs("IRIX", "5.3", 0.2), "")
+		c.Update(member(1), []attr.Pair{{Name: "host_load", Value: attr.Float(0.9)}}, "")
+		close(writeDone)
+	}()
+	select {
+	case <-writeDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Join/Update blocked behind an in-flight query evaluation")
+	}
+
+	close(release)
+	if err := <-queryDone; err != nil {
+		t.Fatalf("query: %v", err)
+	}
+}
+
+// TestQuerySnapshotIsolation: a query captures a consistent snapshot; a
+// concurrent Update neither corrupts its results nor leaks into the
+// already-captured records.
+func TestQuerySnapshotIsolation(t *testing.T) {
+	c := New(orb.NewRuntime("uva"), nil)
+	c.Join(member(1), hostAttrs("IRIX", "5.3", 0.2), "")
+	recs, err := c.Query(`$host_load < 0.5`)
+	if err != nil || len(recs) != 1 {
+		t.Fatalf("query: %v %v", recs, err)
+	}
+	// Mutating the member after the query must not change the returned
+	// snapshot (results share the record's immutable pairs).
+	c.Update(member(1), []attr.Pair{{Name: "host_load", Value: attr.Float(0.99)}}, "")
+	for _, p := range recs[0].Attrs {
+		if p.Name == "host_load" {
+			if f, _ := p.Value.AsFloat(); f != 0.2 {
+				t.Errorf("snapshot mutated: host_load = %v", p.Value)
+			}
+		}
 	}
 }
 
