@@ -114,8 +114,11 @@ func newRecord(old *record, attrs []attr.Pair, at time.Time) *record {
 type Collection struct {
 	*orb.ServiceObject
 
+	cache *query.ParseCache // parsed-query LRU; safe for concurrent use
+
 	mu      sync.RWMutex
 	records map[loid.LOID]*record
+	idx     *attrIndex
 	funcs   map[string]query.Func
 	auth    Authorizer
 	now     func() time.Time
@@ -135,6 +138,9 @@ type collectionMetrics struct {
 	querySize *telemetry.Histogram
 	queryErrs *telemetry.Counter
 	evalSkips *telemetry.Counter
+	cacheHits *telemetry.Counter
+	indexed   *telemetry.Counter
+	scans     *telemetry.Counter
 }
 
 func newCollectionMetrics(rt *orb.Runtime) collectionMetrics {
@@ -146,6 +152,9 @@ func newCollectionMetrics(rt *orb.Runtime) collectionMetrics {
 		querySize: reg.Histogram("legion_collection_query_results", telemetry.SizeBuckets),
 		queryErrs: reg.Counter("legion_collection_query_errors_total"),
 		evalSkips: reg.Counter("legion_collection_query_eval_skips"),
+		cacheHits: reg.Counter("legion_collection_query_cache_hits_total"),
+		indexed:   reg.Counter("legion_collection_query_indexed_total"),
+		scans:     reg.Counter("legion_collection_query_scans_total"),
 	}
 }
 
@@ -154,7 +163,9 @@ func newCollectionMetrics(rt *orb.Runtime) collectionMetrics {
 func New(rt *orb.Runtime, auth Authorizer) *Collection {
 	c := &Collection{
 		ServiceObject: orb.NewServiceObject(rt.Mint("Collection")),
+		cache:         query.NewParseCache(0),
 		records:       make(map[loid.LOID]*record),
+		idx:           newAttrIndex(DefaultIndexedKeys),
 		funcs:         make(map[string]query.Func),
 		auth:          auth,
 		now:           time.Now,
@@ -163,6 +174,19 @@ func New(rt *orb.Runtime, auth Authorizer) *Collection {
 	c.installMethods()
 	rt.Register(c)
 	return c
+}
+
+// SetIndexedKeys replaces the set of indexed attribute keys and rebuilds
+// the inverted index over the current records. Passing no keys disables
+// the index entirely (every query scans) — the scan-vs-index experiments
+// use this as their baseline.
+func (c *Collection) SetIndexedKeys(keys ...string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.idx = newAttrIndex(keys)
+	for member, r := range c.records {
+		c.idx.insert(member, r)
+	}
 }
 
 // SetClock overrides the record-freshness clock.
@@ -209,7 +233,10 @@ func (c *Collection) Join(member loid.LOID, attrs []attr.Pair, credential string
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.records[member] = newRecord(c.records[member], attrs, c.now())
+	old := c.records[member]
+	r := newRecord(old, attrs, c.now())
+	c.records[member] = r
+	c.idx.replace(member, old, r)
 	return nil
 }
 
@@ -220,10 +247,12 @@ func (c *Collection) Leave(member loid.LOID, credential string) error {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if _, ok := c.records[member]; !ok {
+	r, ok := c.records[member]
+	if !ok {
 		return fmt.Errorf("%w: %v", ErrNotMember, member)
 	}
 	delete(c.records, member)
+	c.idx.remove(member, r)
 	return nil
 }
 
@@ -239,7 +268,9 @@ func (c *Collection) Update(member loid.LOID, attrs []attr.Pair, credential stri
 	if !ok {
 		return fmt.Errorf("%w: %v", ErrNotMember, member)
 	}
-	c.records[member] = newRecord(old, attrs, c.now())
+	r := newRecord(old, attrs, c.now())
+	c.records[member] = r
+	c.idx.replace(member, old, r)
 	c.updates.Add(1)
 	return nil
 }
@@ -275,15 +306,21 @@ func (c *Collection) QueryCtx(ctx context.Context, src string) (_ []Record, err 
 			c.met.queryErrs.Inc()
 		}
 	}()
-	e, err := query.Parse(src)
+	e, hit, err := c.cache.Parse(src)
 	if err != nil {
 		return nil, err
 	}
+	if hit {
+		c.met.cacheHits.Inc()
+	}
+	terms := query.ConjunctiveTerms(e)
 
 	// Snapshot under a brief read lock: records are immutable
 	// copy-on-write values and the function table is swapped wholesale on
 	// InjectFunc, so both stay valid after the lock is released and the
-	// (possibly slow) evaluation below never stalls Join/Update.
+	// (possibly slow) evaluation below never stalls Join/Update. When a
+	// top-level conjunct hits an indexed key, only the index's candidate
+	// set is snapshotted instead of every record.
 	type candidate struct {
 		member loid.LOID
 		rec    *record
@@ -291,11 +328,27 @@ func (c *Collection) QueryCtx(ctx context.Context, src string) (_ []Record, err 
 	c.mu.RLock()
 	c.queries.Add(1)
 	funcs := c.funcs
-	snap := make([]candidate, 0, len(c.records))
-	for member, r := range c.records {
-		snap = append(snap, candidate{member: member, rec: r})
+	var snap []candidate
+	cands, usedIndex := c.idx.candidates(terms)
+	if usedIndex {
+		snap = make([]candidate, 0, len(cands))
+		for member := range cands {
+			if r, ok := c.records[member]; ok {
+				snap = append(snap, candidate{member: member, rec: r})
+			}
+		}
+	} else {
+		snap = make([]candidate, 0, len(c.records))
+		for member, r := range c.records {
+			snap = append(snap, candidate{member: member, rec: r})
+		}
 	}
 	c.mu.RUnlock()
+	if usedIndex {
+		c.met.indexed.Inc()
+	} else {
+		c.met.scans.Inc()
+	}
 
 	var out []Record
 	skips := 0
@@ -344,6 +397,7 @@ func (c *Collection) Prune(olderThan time.Time) int {
 	for member, r := range c.records {
 		if r.updatedAt.Before(olderThan) {
 			delete(c.records, member)
+			c.idx.remove(member, r)
 			n++
 		}
 	}

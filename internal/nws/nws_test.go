@@ -205,12 +205,15 @@ func TestInjectForecastIntoCollection(t *testing.T) {
 		t.Errorf("custom-attr forecast: %+v", recs)
 	}
 
-	// A record without history fails that record's term, erroring the
-	// query (consistent with type errors) — use defined() to guard.
+	// A record without history fails that record's evaluation; the
+	// Collection skips it and still returns the records with history
+	// (one bad host must not hide the rest from the scheduler).
 	c.Join(loid.LOID{Domain: "uva", Class: "Host", Instance: 3}, nil, "")
-	if _, err := c.Query(`forecast_load() < 0.5`); err == nil {
-		t.Error("query over history-less record should error")
+	recs, err = c.Query(`forecast_load() < 0.5`)
+	if err != nil || len(recs) != 1 || recs[0].Member != idle {
+		t.Errorf("history-less record not skipped: %v %v", recs, err)
 	}
+	// defined() still guards explicitly, reporting no error either way.
 	recs, err = c.Query(`defined($host_load_history) and forecast_load() < 0.5`)
 	if err != nil || len(recs) != 1 {
 		t.Errorf("guarded query: %v %v", recs, err)

@@ -1,0 +1,94 @@
+package query
+
+import "legion/internal/attr"
+
+// Term is one indexable conjunct of a query: an attribute compared
+// against a literal ($attr op literal, in either operand order — the
+// stored Op always reads attribute-first). Collections use Terms to
+// prune the candidate set through an inverted attribute index before
+// evaluating the full expression.
+type Term struct {
+	Attr  string
+	Op    string // "==", "!=", "<", "<=", ">", ">="
+	Value attr.Value
+}
+
+// ConjunctiveTerms extracts the attribute-vs-literal comparisons that
+// every matching record must satisfy. Only the top-level "and" spine is
+// walked: a term found there is a necessary condition for the whole
+// expression (a record failing it cannot match, because the evaluator
+// treats a false or missing-attribute conjunct as falsifying the
+// conjunction), so filtering candidates by any such term is sound.
+// Subtrees under "or", "not", or function calls contribute nothing.
+func ConjunctiveTerms(e Expr) []Term {
+	var out []Term
+	collectConjuncts(e, &out)
+	return out
+}
+
+func collectConjuncts(e Expr, out *[]Term) {
+	b, ok := e.(*binaryExpr)
+	if !ok {
+		return
+	}
+	if b.op == "and" {
+		collectConjuncts(b.lhs, out)
+		collectConjuncts(b.rhs, out)
+		return
+	}
+	if b.op == "or" {
+		return
+	}
+	if a, ok := b.lhs.(*attrExpr); ok {
+		if l, ok := b.rhs.(*literalExpr); ok {
+			*out = append(*out, Term{Attr: a.name, Op: b.op, Value: l.val})
+		}
+		return
+	}
+	if l, ok := b.lhs.(*literalExpr); ok {
+		if a, ok := b.rhs.(*attrExpr); ok {
+			*out = append(*out, Term{Attr: a.name, Op: flipOp(b.op), Value: l.val})
+		}
+	}
+}
+
+// flipOp rewrites "literal op $attr" as "$attr flipOp(op) literal".
+func flipOp(op string) string {
+	switch op {
+	case "<":
+		return ">"
+	case "<=":
+		return ">="
+	case ">":
+		return "<"
+	case ">=":
+		return "<="
+	default: // == and != are symmetric
+		return op
+	}
+}
+
+// CompareValues reports whether "a op b" holds under the evaluator's
+// relational semantics: semantic equality for == and !=, numeric order
+// when both values coerce to float, lexical order for string pairs.
+// comparable is false when the kinds cannot be ordered — evaluating such
+// a comparison against a record errors, so the record cannot match.
+func CompareValues(a, b attr.Value, op string) (result, comparable bool) {
+	switch op {
+	case "==":
+		return a.Equal(b), true
+	case "!=":
+		return !a.Equal(b), true
+	}
+	if af, ok := a.AsFloat(); ok {
+		bf, ok := b.AsFloat()
+		if !ok {
+			return false, false
+		}
+		return cmpOrder(op, compareFloat(af, bf)), true
+	}
+	if a.Kind() == attr.KindString && b.Kind() == attr.KindString {
+		return cmpOrder(op, compareString(a.Str(), b.Str())), true
+	}
+	return false, false
+}

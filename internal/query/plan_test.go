@@ -1,0 +1,123 @@
+package query
+
+import (
+	"testing"
+
+	"legion/internal/attr"
+)
+
+func mustParse(t *testing.T, src string) Expr {
+	t.Helper()
+	e, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return e
+}
+
+func TestConjunctiveTerms(t *testing.T) {
+	cases := []struct {
+		src  string
+		want []Term
+	}{
+		{`$arch == "mips"`, []Term{{"arch", "==", attr.String("mips")}}},
+		{`$alive == true and $load < 0.5`, []Term{
+			{"alive", "==", attr.Bool(true)},
+			{"load", "<", attr.Float(0.5)},
+		}},
+		// Nested and-spine, literal-first operands flipped.
+		{`($cpus >= 4 and 10 > $load) and match("IRIX", $os)`, []Term{
+			{"cpus", ">=", attr.Int(4)},
+			{"load", "<", attr.Int(10)},
+		}},
+		// or / not / calls contribute nothing.
+		{`$a == 1 or $b == 2`, nil},
+		{`not ($a == 1)`, nil},
+		{`defined($a)`, nil},
+		// Below an or, terms are not necessary conditions.
+		{`$a == 1 and ($b == 2 or $c == 3)`, []Term{{"a", "==", attr.Int(1)}}},
+		// attr-vs-attr is not indexable.
+		{`$a == $b`, nil},
+	}
+	for _, tc := range cases {
+		got := ConjunctiveTerms(mustParse(t, tc.src))
+		if len(got) != len(tc.want) {
+			t.Errorf("%q: terms = %+v, want %+v", tc.src, got, tc.want)
+			continue
+		}
+		for i := range got {
+			if got[i].Attr != tc.want[i].Attr || got[i].Op != tc.want[i].Op ||
+				!got[i].Value.Equal(tc.want[i].Value) {
+				t.Errorf("%q term %d: %+v, want %+v", tc.src, i, got[i], tc.want[i])
+			}
+		}
+	}
+}
+
+func TestCompareValues(t *testing.T) {
+	cases := []struct {
+		a, b       attr.Value
+		op         string
+		result, ok bool
+	}{
+		{attr.Int(3), attr.Float(3.0), "==", true, true},
+		{attr.Int(3), attr.Int(4), "!=", true, true},
+		{attr.Float(0.2), attr.Float(0.5), "<", true, true},
+		{attr.Int(7), attr.Float(0.5), "<=", false, true},
+		{attr.String("IRIX"), attr.String("Linux"), "<", true, true},
+		{attr.String("b"), attr.String("a"), ">=", true, true},
+		// Kind mismatches cannot be ordered.
+		{attr.String("x"), attr.Int(1), "<", false, false},
+		{attr.Bool(true), attr.Int(1), ">", false, false},
+		// ...but equality always answers.
+		{attr.Bool(true), attr.Int(1), "==", false, true},
+	}
+	for _, tc := range cases {
+		result, ok := CompareValues(tc.a, tc.b, tc.op)
+		if result != tc.result || ok != tc.ok {
+			t.Errorf("CompareValues(%v %s %v) = %v,%v want %v,%v",
+				tc.a, tc.op, tc.b, result, ok, tc.result, tc.ok)
+		}
+	}
+}
+
+// TestConjunctiveTermsMatchEval: any record failing an extracted term
+// must fail the whole expression — the soundness property index pruning
+// relies on.
+func TestConjunctiveTermsMatchEval(t *testing.T) {
+	srcs := []string{
+		`$arch == "mips" and $load < 0.5`,
+		`$alive == true and ($zone == "uva" or $zone == "sdsc")`,
+		`$cpus >= 2 and not ($os == "IRIX")`,
+		`3 <= $cpus and defined($vaults)`,
+	}
+	recs := []MapRecord{
+		{"arch": attr.String("mips"), "load": attr.Float(0.1), "alive": attr.Bool(true),
+			"zone": attr.String("uva"), "cpus": attr.Int(4), "os": attr.String("Linux"),
+			"vaults": attr.List(attr.String("v1"))},
+		{"arch": attr.String("sparc"), "load": attr.Float(0.9), "alive": attr.Bool(false),
+			"zone": attr.String("mit"), "cpus": attr.Int(1), "os": attr.String("IRIX")},
+		{}, // everything missing
+	}
+	for _, src := range srcs {
+		e := mustParse(t, src)
+		terms := ConjunctiveTerms(e)
+		for ri, rec := range recs {
+			matched, err := Eval(e, rec)
+			if err != nil || !matched {
+				continue
+			}
+			// The record matches: every term must hold for it.
+			for _, term := range terms {
+				v, ok := rec.Lookup(term.Attr)
+				if !ok {
+					t.Errorf("%q rec %d matches but lacks term attr %s", src, ri, term.Attr)
+					continue
+				}
+				if res, cmp := CompareValues(v, term.Value, term.Op); !cmp || !res {
+					t.Errorf("%q rec %d matches but fails term %+v", src, ri, term)
+				}
+			}
+		}
+	}
+}
