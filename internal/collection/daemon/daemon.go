@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"legion/internal/attr"
+	"legion/internal/fanout"
 	"legion/internal/loid"
 	"legion/internal/monitor"
 	"legion/internal/orb"
@@ -62,6 +63,11 @@ type Config struct {
 	// DownAfter consecutive probe failures flag the resource's records;
 	// zero means 2.
 	DownAfter int
+	// Parallelism bounds how many resources are probed concurrently in
+	// one sweep, so a sweep's wall time is dominated by the slowest
+	// probe, not the sum of all probe timeouts. Zero means 8; 1 probes
+	// serially.
+	Parallelism int
 }
 
 // Daemon pulls attribute snapshots from resources and pushes them into
@@ -99,6 +105,9 @@ func New(rt *orb.Runtime, cfg Config) *Daemon {
 	}
 	if cfg.DownAfter <= 0 {
 		cfg.DownAfter = 2
+	}
+	if cfg.Parallelism <= 0 {
+		cfg.Parallelism = 8
 	}
 	if cfg.Liveness == nil {
 		cfg.Liveness = monitor.NewLiveness(3*cfg.Interval, cfg.DownAfter)
@@ -174,8 +183,14 @@ func (d *Daemon) Sweep(ctx context.Context) int {
 	d.sweeps++
 	d.mu.Unlock()
 
-	ok := 0
-	for _, res := range resources {
+	// Probe the resources concurrently: a sweep over a fleet with a few
+	// dead hosts would otherwise serialize their full retry budgets. All
+	// shared state touched here (errors, flagged, joined, the liveness
+	// tracker) is internally locked; the per-resource deposit counts go
+	// into per-index slots and are summed after the join.
+	oks := make([]int, len(resources))
+	fanout.Do(d.cfg.Parallelism, len(resources), func(ri int) {
+		res := resources[ri]
 		cctx, cancel := context.WithTimeout(ctx, d.cfg.CallTimeout)
 		reply, err := d.call.Call(cctx, res, proto.MethodGetAttributes, nil)
 		cancel()
@@ -188,7 +203,7 @@ func (d *Daemon) Sweep(ctx context.Context) int {
 			if d.live.State(res) == monitor.LivenessDown {
 				d.flagDown(ctx, res, collections)
 			}
-			continue
+			return
 		}
 		d.live.Beat(res)
 		d.mu.Lock()
@@ -200,9 +215,13 @@ func (d *Daemon) Sweep(ctx context.Context) int {
 		)
 		for _, coll := range collections {
 			if d.deposit(ctx, coll, res, attrs) {
-				ok++
+				oks[ri]++
 			}
 		}
+	})
+	ok := 0
+	for _, n := range oks {
+		ok += n
 	}
 	return ok
 }

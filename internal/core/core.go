@@ -61,6 +61,11 @@ type Options struct {
 	// private registry to assert exact counts, and overhead benchmarks
 	// pass telemetry.NewDisabled().
 	Metrics *telemetry.Registry
+	// Parallelism bounds how many per-resource negotiation calls the
+	// Enactor (and the Data Collection Daemon's probes) issue
+	// concurrently. Zero means the enactor default (8); 1 is the serial
+	// host-by-host walk.
+	Parallelism int
 }
 
 // Metasystem is one administrative domain's assembled Legion RMI.
@@ -129,7 +134,11 @@ func New(domain string, opts Options) *Metasystem {
 	ms.HostClass = classobj.New(rt, classobj.Config{Name: "Host", Meta: ms.LegionClass.LOID()})
 	ms.VaultClass = classobj.New(rt, classobj.Config{Name: "Vault", Meta: ms.LegionClass.LOID()})
 	ms.Collection = collection.New(rt, opts.CollectionAuth)
-	ms.Enactor = enactor.New(rt, enactor.Config{Retry: opts.Retry, Breakers: ms.breakers})
+	ms.Enactor = enactor.New(rt, enactor.Config{
+		Retry:       opts.Retry,
+		Breakers:    ms.breakers,
+		Parallelism: opts.Parallelism,
+	})
 	ms.Monitor = monitor.New(rt)
 	return ms
 }
@@ -192,9 +201,10 @@ func (ms *Metasystem) Vaults() []*vault.Vault {
 // drives sweeps (Sweep for one pass, Start for periodic).
 func (ms *Metasystem) NewDaemon() *daemon.Daemon {
 	d := daemon.New(ms.rt, daemon.Config{
-		Credential: ms.opts.Credential,
-		Retry:      ms.opts.Retry,
-		Breakers:   ms.breakers,
+		Credential:  ms.opts.Credential,
+		Retry:       ms.opts.Retry,
+		Breakers:    ms.breakers,
+		Parallelism: ms.opts.Parallelism,
 	})
 	for _, h := range ms.Hosts() {
 		d.Watch(h.LOID())

@@ -13,6 +13,16 @@
 // variant leaves unchanged are kept, avoiding "reservation thrashing (the
 // canceling and subsequent remaking of the same reservation)".
 //
+// Per-resource negotiation calls within one request fan out across hosts
+// through a bounded worker pool (Config.Parallelism): each reservation
+// round reserves every not-yet-held mapping concurrently and collects
+// the failures into one bitmap before selecting a variant, k-of-n groups
+// probe their next K-got preferred alternatives per wave, and
+// create_instance, rollback and cancellation calls run concurrently too.
+// The variant semantics are unchanged from the serial walk — held
+// entries are never re-made, and the serial loop never short-circuited a
+// round either, so the collected bitmap equals the serial one.
+//
 // Reservation-making is all-or-nothing per master: if no master can be
 // fully reserved, everything obtained along the way is cancelled and the
 // feedback classifies the failure (resources / malformed / other).
@@ -25,6 +35,7 @@ import (
 	"sync"
 	"time"
 
+	"legion/internal/fanout"
 	"legion/internal/loid"
 	"legion/internal/orb"
 	"legion/internal/proto"
@@ -77,6 +88,11 @@ type Config struct {
 	// DisableResilience reverts to direct single-attempt calls — the
 	// pre-resilience behaviour, kept for ablation experiments.
 	DisableResilience bool
+	// Parallelism bounds how many per-resource negotiation calls
+	// (reservations, k-of-n probes, create_instance, rollbacks and
+	// cancellations) run concurrently within one request. Zero means 8;
+	// 1 reverts to the serial host-by-host walk (ablation baseline).
+	Parallelism int
 }
 
 // heldRequest is the Enactor's retained state for one scheduling episode.
@@ -96,9 +112,10 @@ type heldRequest struct {
 // concurrent use; distinct requests negotiate independently.
 type Enactor struct {
 	*orb.ServiceObject
-	rt   *orb.Runtime
-	cfg  Config
-	call *resilient.Caller // resilient path for negotiation calls
+	rt      *orb.Runtime
+	cfg     Config
+	call    *resilient.Caller // resilient path for negotiation calls
+	cleanup *resilient.Caller // breaker-free path for rollback/cancel
 
 	mu       sync.Mutex
 	cond     *sync.Cond // signals inflight enactments completing
@@ -169,6 +186,9 @@ func New(rt *orb.Runtime, cfg Config) *Enactor {
 	if cfg.RequestTTL <= 0 {
 		cfg.RequestTTL = 5 * time.Minute
 	}
+	if cfg.Parallelism <= 0 {
+		cfg.Parallelism = 8
+	}
 	e := &Enactor{
 		ServiceObject: orb.NewServiceObject(rt.Mint("Enactor")),
 		rt:            rt,
@@ -185,6 +205,12 @@ func New(rt *orb.Runtime, cfg Config) *Enactor {
 	default:
 		e.call = resilient.NewCaller(rt, cfg.Retry, cfg.Breaker)
 	}
+	// Cleanup (rollback destroys, reservation cancels) bypasses the
+	// breakers: the failures that trigger a rollback are often exactly
+	// what opened the endpoint's breaker, and failing the destroy fast
+	// would leak the instances the rollback exists to reclaim. The retry
+	// policy still bounds the attempts.
+	e.cleanup = resilient.NewCallerWith(rt, cfg.Retry, nil)
 	e.installMethods()
 	rt.Register(e)
 	return e
@@ -193,6 +219,14 @@ func New(rt *orb.Runtime, cfg Config) *Enactor {
 // Breakers exposes the Enactor's per-endpoint breaker states (nil when
 // resilience is disabled) — chaos tests and operators read these.
 func (e *Enactor) Breakers() *resilient.BreakerSet { return e.call.Breakers() }
+
+// fanOut runs fn(i) for i in [0, n) under the configured parallelism
+// bound. Callbacks write results into per-index slots; the callers keep
+// all stats accounting on their own goroutine after the join, so the
+// shared EnactmentStats never crosses goroutines.
+func (e *Enactor) fanOut(n int, fn func(i int)) {
+	fanout.Do(e.cfg.Parallelism, n, fn)
+}
 
 // NewRequestID mints a fresh request ID for a scheduling episode.
 func (e *Enactor) NewRequestID() uint64 {
@@ -287,50 +321,82 @@ func (e *Enactor) tryMaster(ctx context.Context, m *sched.Master, spec sched.Res
 	var applied []int
 
 	cancelAll := func() {
+		var idxs []int
 		for i := range held {
 			if held[i] {
-				e.cancelToken(ctx, current[i].Host, tokens[i], stats)
-				held[i] = false
+				idxs = append(idxs, i)
 			}
 		}
+		e.fanOut(len(idxs), func(j int) {
+			i := idxs[j]
+			e.cancelToken(ctx, current[i].Host, tokens[i])
+		})
+		for _, i := range idxs {
+			held[i] = false
+		}
+		stats.ReservationsCancelled += len(idxs)
 	}
 
 	variantCursor := 0
 	for {
-		// Reserve every mapping not already held.
-		failed := sched.NewBitmap(len(current))
+		// Reserve every mapping not already held, fanned out across the
+		// hosts. Failures are collected into one bitmap after the round
+		// joins — the same bitmap the serial walk produced, since it
+		// never short-circuited a round either — and variant selection
+		// runs on the collected result.
+		var toReserve []int
 		for i := range current {
-			if held[i] {
-				continue
+			if !held[i] {
+				toReserve = append(toReserve, i)
 			}
-			tok, err := e.reserve(ctx, current[i], spec, stats)
-			if err != nil {
-				failed.Set(i)
+		}
+		stats.ReservationsRequested += len(toReserve)
+		toks := make([]*reservation.Token, len(toReserve))
+		e.fanOut(len(toReserve), func(j int) {
+			toks[j], _ = e.reserve(ctx, current[toReserve[j]], spec)
+		})
+		var failedIdx []int
+		for j, tok := range toks {
+			i := toReserve[j]
+			if tok == nil {
+				failedIdx = append(failedIdx, i)
 				continue
 			}
 			tokens[i] = *tok
 			held[i] = true
+			stats.ReservationsGranted++
 		}
-		if !failed.Any() {
+		if len(failedIdx) == 0 {
 			// Base mappings are fully reserved; satisfy the k-of-n
 			// equivalence-class groups (§3.3): any K of each group's
-			// alternatives, in preference order.
+			// alternatives, in preference order. Each wave probes exactly
+			// the K-got next preferred alternatives concurrently and
+			// appends the successes in preference order, so a group never
+			// over-reserves and the chosen set matches the serial walk
+			// whenever the same probes succeed.
 			for gi := range m.KofN {
 				g := &m.KofN[gi]
 				got := 0
-				for _, alt := range g.Alternatives {
-					if got == g.K {
-						break
+				next := 0
+				for got < g.K && next < len(g.Alternatives) {
+					wave := g.Alternatives[next:min(next+g.K-got, len(g.Alternatives))]
+					next += len(wave)
+					stats.ReservationsRequested += len(wave)
+					wtoks := make([]*reservation.Token, len(wave))
+					e.fanOut(len(wave), func(j int) {
+						gm := sched.Mapping{Class: g.Class, Host: wave[j].Host, Vault: wave[j].Vault}
+						wtoks[j], _ = e.reserve(ctx, gm, spec)
+					})
+					for j, tok := range wtoks {
+						if tok == nil {
+							continue
+						}
+						current = append(current, sched.Mapping{Class: g.Class, Host: wave[j].Host, Vault: wave[j].Vault})
+						tokens = append(tokens, *tok)
+						held = append(held, true)
+						got++
+						stats.ReservationsGranted++
 					}
-					gm := sched.Mapping{Class: g.Class, Host: alt.Host, Vault: alt.Vault}
-					tok, err := e.reserve(ctx, gm, spec, stats)
-					if err != nil {
-						continue
-					}
-					current = append(current, gm)
-					tokens = append(tokens, *tok)
-					held = append(held, true)
-					got++
 				}
 				if got < g.K {
 					cancelAll()
@@ -339,6 +405,7 @@ func (e *Enactor) tryMaster(ctx context.Context, m *sched.Master, spec sched.Res
 			}
 			return current, tokens, applied, true
 		}
+		failed := sched.NewBitmapOf(len(current), failedIdx...)
 
 		// Select the next variant whose bitmap covers a failed entry.
 		vi := m.NextVariant(variantCursor, failed)
@@ -371,8 +438,9 @@ func (e *Enactor) tryMaster(ctx context.Context, m *sched.Master, spec sched.Res
 // caller falls back to variant schedules. A retry after an ambiguous
 // failure can double-grant; the orphan grant is unconfirmed and is
 // reclaimed by the Host's confirmation timeout / reservation reaper.
-func (e *Enactor) reserve(ctx context.Context, m sched.Mapping, spec sched.ReservationSpec, stats *sched.EnactmentStats) (*reservation.Token, error) {
-	stats.ReservationsRequested++
+// reserve runs on fan-out goroutines, so it touches no shared state —
+// the callers do all stats accounting after the round joins.
+func (e *Enactor) reserve(ctx context.Context, m sched.Mapping, spec sched.ReservationSpec) (*reservation.Token, error) {
 	res, err := e.call.Call(ctx, m.Host, proto.MethodMakeReservation, proto.MakeReservationArgs{
 		Requester: e.LOID(),
 		Vault:     m.Vault,
@@ -388,16 +456,15 @@ func (e *Enactor) reserve(ctx context.Context, m sched.Mapping, spec sched.Reser
 	if !ok {
 		return nil, fmt.Errorf("enactor: unexpected reply %T", res)
 	}
-	stats.ReservationsGranted++
 	return &reply.Token, nil
 }
 
 // cancelToken releases one reservation, retrying transient faults and
 // tolerating final failure (the host may be gone; its confirmation
-// timeout or reservation reaper will reclaim the grant).
-func (e *Enactor) cancelToken(ctx context.Context, hostL loid.LOID, tok reservation.Token, stats *sched.EnactmentStats) {
-	stats.ReservationsCancelled++
-	_, _ = e.call.Call(ctx, hostL, proto.MethodCancelReservation, proto.TokenArgs{Token: tok})
+// timeout or reservation reaper will reclaim the grant). Like reserve,
+// it is called from fan-out goroutines and touches no shared state.
+func (e *Enactor) cancelToken(ctx context.Context, hostL loid.LOID, tok reservation.Token) {
+	_, _ = e.cleanup.Call(ctx, hostL, proto.MethodCancelReservation, proto.TokenArgs{Token: tok})
 }
 
 // EnactSchedule instantiates the objects of a successfully reserved
@@ -471,7 +538,9 @@ func (e *Enactor) enact(ctx context.Context, req *heldRequest) proto.EnactReply 
 	createPolicy.Retryable = resilient.NeverReached
 
 	created := make([][]loid.LOID, len(req.resolved))
-	for i, m := range req.resolved {
+	errs := make([]error, len(req.resolved))
+	e.fanOut(len(req.resolved), func(i int) {
+		m := req.resolved[i]
 		res, err := e.call.CallPolicy(ctx, createPolicy, m.Class, proto.MethodCreateInstance, proto.CreateInstanceArgs{
 			Count: 1,
 			Placement: &proto.Placement{
@@ -481,38 +550,67 @@ func (e *Enactor) enact(ctx context.Context, req *heldRequest) proto.EnactReply 
 			},
 		})
 		if err != nil {
-			e.rollback(ctx, req, created, i)
-			return proto.EnactReply{Success: false,
-				Detail: fmt.Sprintf("create_instance for mapping %d (%v): %v", i, m, err)}
+			errs[i] = fmt.Errorf("create_instance for mapping %d (%v): %w", i, m, err)
+			return
 		}
 		reply, isReply := res.(proto.CreateInstanceReply)
 		if !isReply || len(reply.Instances) == 0 {
-			e.rollback(ctx, req, created, i)
-			return proto.EnactReply{Success: false,
-				Detail: fmt.Sprintf("create_instance for mapping %d returned %T", i, res)}
+			errs[i] = fmt.Errorf("create_instance for mapping %d returned %T", i, res)
+			return
 		}
 		created[i] = reply.Instances
+	})
+	var firstErr error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+		// Prefer a root-cause error over a breaker refusal: when one
+		// mapping's failures open the class endpoint's breaker, its
+		// siblings fail with ErrCircuitOpen — a symptom of the same
+		// outage, and useless as a diagnostic on its own.
+		if !errors.Is(err, resilient.ErrCircuitOpen) {
+			firstErr = err
+			break
+		}
+	}
+	if firstErr != nil {
+		// Concurrent siblings of the failed call run to completion, so
+		// rollback destroys every instance that did get created, not
+		// just a prefix.
+		e.rollback(ctx, req, created)
+		return proto.EnactReply{Success: false, Detail: firstErr.Error()}
 	}
 	return proto.EnactReply{Success: true, Instances: created}
 }
 
-// rollback destroys the instances created so far and cancels the
-// remaining (unredeemed or reusable) reservations.
-func (e *Enactor) rollback(ctx context.Context, req *heldRequest, created [][]loid.LOID, upto int) {
+// rollback destroys whatever instances were created and cancels the
+// remaining (unredeemed or reusable) reservations, fanning the calls
+// out across the hosts involved.
+func (e *Enactor) rollback(ctx context.Context, req *heldRequest, created [][]loid.LOID) {
 	ctx, span := e.met.spans.StartIn(ctx, "enactor/rollback", e.met.domain)
 	defer span.Finish(nil)
 	e.met.rollbacks.Inc()
-	var stats sched.EnactmentStats
-	for i := 0; i < upto; i++ {
-		for _, inst := range created[i] {
-			_, _ = e.call.Call(ctx, req.resolved[i].Class, proto.MethodDestroyInstance,
-				proto.ObjectArgs{Object: inst})
+	type target struct{ class, inst loid.LOID }
+	var destroy []target
+	for i, insts := range created {
+		for _, inst := range insts {
+			destroy = append(destroy, target{class: req.resolved[i].Class, inst: inst})
 		}
 	}
-	for i := range req.tokens {
-		e.cancelToken(ctx, req.resolved[i].Host, req.tokens[i], &stats)
-	}
-	e.accumulate(stats)
+	e.fanOut(len(destroy), func(j int) {
+		// Cleanup path: parallel create failures may have opened the class
+		// endpoint's breaker, and destroy must still get through.
+		_, _ = e.cleanup.Call(ctx, destroy[j].class, proto.MethodDestroyInstance,
+			proto.ObjectArgs{Object: destroy[j].inst})
+	})
+	e.fanOut(len(req.tokens), func(i int) {
+		e.cancelToken(ctx, req.resolved[i].Host, req.tokens[i])
+	})
+	e.accumulate(sched.EnactmentStats{ReservationsCancelled: len(req.tokens)})
 }
 
 // CancelReservations releases a request's reservations without enacting.
@@ -530,11 +628,10 @@ func (e *Enactor) CancelReservations(ctx context.Context, requestID uint64) erro
 	if !ok {
 		return fmt.Errorf("%w: %d", ErrUnknownRequest, requestID)
 	}
-	var stats sched.EnactmentStats
-	for i := range req.tokens {
-		e.cancelToken(ctx, req.resolved[i].Host, req.tokens[i], &stats)
-	}
-	e.accumulate(stats)
+	e.fanOut(len(req.tokens), func(i int) {
+		e.cancelToken(ctx, req.resolved[i].Host, req.tokens[i])
+	})
+	e.accumulate(sched.EnactmentStats{ReservationsCancelled: len(req.tokens)})
 	return nil
 }
 

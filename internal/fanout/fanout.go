@@ -1,0 +1,41 @@
+// Package fanout provides the bounded worker pool the negotiation hot
+// path fans out on: per-resource calls (reservations, k-of-n probes,
+// create_instance, cancellations, daemon pulls) are independent, so they
+// run concurrently up to a configured limit instead of one host at a
+// time.
+package fanout
+
+import "sync"
+
+// Do calls fn(i) for every i in [0, n), running at most limit calls
+// concurrently, and returns when all have finished. fn must write its
+// result into caller-owned slots indexed by i (never shared state), so
+// no synchronization is needed beyond the join. limit <= 1 degenerates
+// to a plain loop on the calling goroutine — callers expose
+// "parallelism 1" as an exact serial ablation.
+func Do(limit, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if limit > n {
+		limit = n
+	}
+	if limit <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, limit)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			fn(i)
+		}(i)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,65 @@
+package fanout
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestDoCoversEveryIndexOnce(t *testing.T) {
+	for _, limit := range []int{1, 2, 8, 100} {
+		n := 37
+		counts := make([]int32, n)
+		Do(limit, n, func(i int) { atomic.AddInt32(&counts[i], 1) })
+		for i, c := range counts {
+			if c != 1 {
+				t.Errorf("limit %d: index %d called %d times", limit, i, c)
+			}
+		}
+	}
+}
+
+func TestDoBoundsConcurrency(t *testing.T) {
+	const limit = 3
+	var inflight, peak int32
+	var mu sync.Mutex
+	Do(limit, 20, func(int) {
+		cur := atomic.AddInt32(&inflight, 1)
+		mu.Lock()
+		if cur > peak {
+			peak = cur
+		}
+		mu.Unlock()
+		time.Sleep(time.Millisecond)
+		atomic.AddInt32(&inflight, -1)
+	})
+	if peak > limit {
+		t.Errorf("peak concurrency %d exceeds limit %d", peak, limit)
+	}
+	if peak < 2 {
+		t.Errorf("peak concurrency %d: never actually parallel", peak)
+	}
+}
+
+func TestDoSerialWhenLimitOne(t *testing.T) {
+	// limit 1 must run in order on the calling goroutine: appending to a
+	// plain slice with no synchronization is race-free only then (the
+	// race detector guards this property).
+	var order []int
+	Do(1, 5, func(i int) { order = append(order, i) })
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("order = %v", order)
+		}
+	}
+}
+
+func TestDoZeroAndNegative(t *testing.T) {
+	called := false
+	Do(4, 0, func(int) { called = true })
+	Do(0, -3, func(int) { called = true })
+	if called {
+		t.Error("fn called for empty range")
+	}
+}

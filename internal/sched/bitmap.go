@@ -32,6 +32,17 @@ func NewBitmap(n int) Bitmap {
 	return Bitmap{words: make([]uint64, (n+63)/64)}
 }
 
+// NewBitmapOf returns a bitmap of at least n bits with the given bits
+// set — the Enactor builds a round's collected failure bitmap from the
+// indices gathered off its parallel reservation calls.
+func NewBitmapOf(n int, bits ...int) Bitmap {
+	b := NewBitmap(n)
+	for _, i := range bits {
+		b.Set(i)
+	}
+	return b
+}
+
 // Set sets bit i, growing the bitmap if needed.
 func (b *Bitmap) Set(i int) {
 	if i < 0 {
