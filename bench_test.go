@@ -17,8 +17,10 @@ import (
 	"time"
 
 	"legion/internal/attr"
+	"legion/internal/classobj"
 	"legion/internal/collection"
 	"legion/internal/core"
+	"legion/internal/enactor"
 	"legion/internal/experiments"
 	"legion/internal/host"
 	"legion/internal/loid"
@@ -747,6 +749,120 @@ func BenchmarkPlacement(b *testing.B) {
 	b.Run("uninstrumented", func(b *testing.B) {
 		run(b, telemetry.NewDisabled())
 	})
+}
+
+// benchQueryHosts builds an n-host Collection and times the E8 selective
+// conjunctive query with the inverted attribute index on vs the linear
+// scan ablation. Both sub-benchmarks run with a warm parse cache, so the
+// delta is candidate pruning alone.
+func benchQueryHosts(b *testing.B, n int) {
+	build := func(indexed bool) *collection.Collection {
+		rt := orb.NewRuntime("uva")
+		rt.SetMetrics(telemetry.NewDisabled())
+		c := collection.New(rt, nil)
+		if !indexed {
+			c.SetIndexedKeys()
+		}
+		rng := rand.New(rand.NewSource(8))
+		for i := 0; i < n; i++ {
+			c.Join(loid.LOID{Domain: "uva", Class: "Host", Instance: uint64(i + 1)},
+				[]attr.Pair{
+					{Name: "host_zone", Value: attr.String(fmt.Sprintf("z%d", i%20))},
+					{Name: "host_arch", Value: attr.String("x86")},
+					{Name: "host_load", Value: attr.Float(rng.Float64())},
+				}, "")
+		}
+		return c
+	}
+	const q = `$host_zone == "z3" and $host_load < 0.5`
+	for _, mode := range []struct {
+		name    string
+		indexed bool
+	}{{"indexed", true}, {"scan", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			c := build(mode.indexed)
+			if _, err := c.Query(q); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				recs, err := c.Query(q)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(recs) == 0 {
+					b.Fatal("selective query matched nothing")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkQuery1kHosts measures the indexed vs scan query latency on a
+// 1000-host Collection (E8, query stage).
+func BenchmarkQuery1kHosts(b *testing.B) { benchQueryHosts(b, 1000) }
+
+// BenchmarkQuery10kHosts measures the same on 10000 hosts, where the
+// index's candidate pruning dominates.
+func BenchmarkQuery10kHosts(b *testing.B) { benchQueryHosts(b, 10000) }
+
+// BenchmarkEnactWideSchedule measures one reserve+enact episode of a
+// width-W schedule over simulated 1ms links, at the serial ablation
+// (Parallelism 1) and the default fan-out (Parallelism 8). With the
+// fan-out, latency stays near-flat as width grows (E8, enact stage).
+func BenchmarkEnactWideSchedule(b *testing.B) {
+	for _, width := range []int{4, 16, 32} {
+		for _, par := range []int{1, 8} {
+			b.Run(fmt.Sprintf("width=%d/parallel=%d", width, par), func(b *testing.B) {
+				rt := orb.NewRuntime("uva")
+				rt.SetMetrics(telemetry.NewDisabled())
+				rt.SetLatency(time.Millisecond, 0)
+				v := vault.New(rt, vault.Config{Zone: "z1"})
+				hosts := make([]*host.Host, width)
+				for i := range hosts {
+					hosts[i] = host.New(rt, host.Config{
+						Arch: "x86", OS: "Linux", CPUs: 64, MemoryMB: 1 << 14,
+						Zone: "z1", MaxShared: 1024, Vaults: []loid.LOID{v.LOID()},
+					})
+				}
+				class := classobj.New(rt, classobj.Config{Name: "Worker"})
+				enr := enactor.New(rt, enactor.Config{
+					CallTimeout: 30 * time.Second, Parallelism: par,
+				})
+				var maps []sched.Mapping
+				for i := 0; i < width; i++ {
+					maps = append(maps, sched.Mapping{
+						Class: class.LOID(), Host: hosts[i].LOID(), Vault: v.LOID(),
+					})
+				}
+				ctx := context.Background()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					req := sched.RequestList{
+						ID:      enr.NewRequestID(),
+						Masters: []sched.Master{{Mappings: maps}},
+						Res:     shareSpec(),
+					}
+					fb := enr.MakeReservations(ctx, req)
+					if !fb.Success {
+						b.Fatalf("reserve failed: %s", fb.Detail)
+					}
+					reply := enr.EnactSchedule(ctx, req.ID)
+					if !reply.Success {
+						b.Fatalf("enact failed: %s", reply.Detail)
+					}
+					b.StopTimer()
+					for _, insts := range reply.Instances {
+						for _, inst := range insts {
+							class.DestroyInstance(ctx, inst)
+						}
+					}
+					enr.CancelReservations(ctx, req.ID)
+					b.StartTimer()
+				}
+			})
+		}
+	}
 }
 
 // BenchmarkE7_PlacementUnderFaults measures the full placement pipeline

@@ -3,12 +3,14 @@
 // executable behaviour) plus the §6 promised scheduler benchmark and the
 // design ablations from DESIGN.md.
 //
-//	legion-bench            # run everything
-//	legion-bench -run F8,E1 # run selected experiments
-//	legion-bench -list      # list experiment IDs
+//	legion-bench              # run everything
+//	legion-bench -run F8,E1   # run selected experiments
+//	legion-bench -run E8 -json # machine-readable tables (CI trend tracking)
+//	legion-bench -list        # list experiment IDs
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -85,6 +87,9 @@ func catalogue() []experiment {
 		{"E7", "Placement under injected faults (resilience layer)", func() *experiments.Table {
 			return experiments.E7FaultRateResilience(20, faultRates)
 		}},
+		{"E8", "Concurrent pipeline: indexed queries, parallel enactment", func() *experiments.Table {
+			return experiments.E8ConcurrentPipeline(nil, nil)
+		}},
 		{"A1", "Ablation: variants vs regenerate", func() *experiments.Table {
 			return experiments.A1VariantVsRegenerate(30, 3)
 		}},
@@ -106,6 +111,7 @@ func main() {
 		list      = flag.Bool("list", false, "list experiment IDs and exit")
 		faultrate = flag.Float64("faultrate", -1, "inject this fraction of transport faults in E7 (0..1; default: sweep 0%, 5%, 20%)")
 		metrics   = flag.Bool("metrics", false, "after running, dump the accumulated telemetry registry as text")
+		asJSON    = flag.Bool("json", false, "emit the result tables as a JSON array instead of text")
 	)
 	flag.Parse()
 	if *faultrate >= 0 {
@@ -125,17 +131,28 @@ func main() {
 			want[strings.TrimSpace(id)] = true
 		}
 	}
-	ran := 0
+	var tables []*experiments.Table
 	for _, e := range cat {
 		if len(want) > 0 && !want[e.id] {
 			continue
 		}
-		e.run().Fprint(os.Stdout)
-		ran++
+		t := e.run()
+		if !*asJSON {
+			t.Fprint(os.Stdout)
+		}
+		tables = append(tables, t)
 	}
-	if ran == 0 {
+	if len(tables) == 0 {
 		fmt.Fprintf(os.Stderr, "no experiments matched %q; try -list\n", *run)
 		os.Exit(1)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(tables); err != nil {
+			fmt.Fprintf(os.Stderr, "encode: %v\n", err)
+			os.Exit(1)
+		}
 	}
 	if *metrics {
 		// Every experiment's runtimes default to telemetry.Default, so
