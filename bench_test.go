@@ -865,6 +865,117 @@ func BenchmarkEnactWideSchedule(b *testing.B) {
 	}
 }
 
+// BenchmarkShardedQuery measures the federation layer's query cost at
+// 10k hosts: a selective indexed query through a Router over 1/2/4
+// Collection shards, against the direct single-Collection baseline
+// (E9, query stage). The acceptance bar is "no worse than the
+// baseline": the scatter-gather adds one local ORB hop and a merge, but
+// each shard scans/prunes a fraction of the records.
+func BenchmarkShardedQuery(b *testing.B) {
+	const nHosts = 10000
+	const q = `$host_zone == "z3" and $host_load < 0.5`
+	join := func(join func(m loid.LOID, attrs []attr.Pair)) {
+		rng := rand.New(rand.NewSource(8))
+		for i := 0; i < nHosts; i++ {
+			join(loid.LOID{Domain: "uva", Class: "Host", Instance: uint64(i + 1)},
+				[]attr.Pair{
+					{Name: "host_zone", Value: attr.String(fmt.Sprintf("z%d", i%20))},
+					{Name: "host_arch", Value: attr.String("x86")},
+					{Name: "host_load", Value: attr.Float(rng.Float64())},
+				})
+		}
+	}
+	b.Run("direct", func(b *testing.B) {
+		rt := orb.NewRuntime("uva")
+		rt.SetMetrics(telemetry.NewDisabled())
+		c := collection.New(rt, nil)
+		join(func(m loid.LOID, attrs []attr.Pair) { c.Join(m, attrs, "") })
+		if _, err := c.Query(q); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			recs, err := c.Query(q)
+			if err != nil || len(recs) == 0 {
+				b.Fatalf("query: %d recs, %v", len(recs), err)
+			}
+		}
+	})
+	for _, nShards := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards=%d", nShards), func(b *testing.B) {
+			rt := orb.NewRuntime("uva")
+			rt.SetMetrics(telemetry.NewDisabled())
+			loids := make([]loid.LOID, nShards)
+			for i := range loids {
+				loids[i] = collection.New(rt, nil).LOID()
+			}
+			r := collection.NewRouter(rt, collection.RouterConfig{Shards: loids})
+			ctx := context.Background()
+			join(func(m loid.LOID, attrs []attr.Pair) {
+				if err := r.Join(ctx, m, attrs, ""); err != nil {
+					b.Fatal(err)
+				}
+			})
+			if _, _, err := r.QueryPartial(ctx, q); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				recs, skipped, err := r.QueryPartial(ctx, q)
+				if err != nil || skipped != 0 || len(recs) == 0 {
+					b.Fatalf("query: %d recs, %d skipped, %v", len(recs), skipped, err)
+				}
+			}
+		})
+	}
+	// The deployment regime: Collections are remote services one link
+	// away. The concurrent scatter pays the link once, like the direct
+	// call does — the Router's fan-out is free where it matters.
+	b.Run("direct-1ms-link", func(b *testing.B) {
+		rt := orb.NewRuntime("uva")
+		rt.SetMetrics(telemetry.NewDisabled())
+		c := collection.New(rt, nil)
+		join(func(m loid.LOID, attrs []attr.Pair) { c.Join(m, attrs, "") })
+		rt.SetLatency(time.Millisecond, 0)
+		ctx := context.Background()
+		if _, err := rt.Call(ctx, c.LOID(), proto.MethodQueryCollection, proto.QueryArgs{Query: q}); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := rt.Call(ctx, c.LOID(), proto.MethodQueryCollection, proto.QueryArgs{Query: q}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("shards=4-1ms-links", func(b *testing.B) {
+		rt := orb.NewRuntime("uva")
+		rt.SetMetrics(telemetry.NewDisabled())
+		loids := make([]loid.LOID, 4)
+		for i := range loids {
+			loids[i] = collection.New(rt, nil).LOID()
+		}
+		r := collection.NewRouter(rt, collection.RouterConfig{Shards: loids})
+		ctx := context.Background()
+		join(func(m loid.LOID, attrs []attr.Pair) {
+			if err := r.Join(ctx, m, attrs, ""); err != nil {
+				b.Fatal(err)
+			}
+		})
+		rt.SetLatency(time.Millisecond, 0)
+		if _, _, err := r.QueryPartial(ctx, q); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			recs, skipped, err := r.QueryPartial(ctx, q)
+			if err != nil || skipped != 0 || len(recs) == 0 {
+				b.Fatalf("query: %d recs, %d skipped, %v", len(recs), skipped, err)
+			}
+		}
+	})
+}
+
 // BenchmarkE7_PlacementUnderFaults measures the full placement pipeline
 // with a fraction of calls failing as injected transport faults — the
 // resilience layer's retry/breaker cost and effectiveness. Success rate

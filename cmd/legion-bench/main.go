@@ -90,6 +90,9 @@ func catalogue() []experiment {
 		{"E8", "Concurrent pipeline: indexed queries, parallel enactment", func() *experiments.Table {
 			return experiments.E8ConcurrentPipeline(nil, nil)
 		}},
+		{"E9", "Hierarchical Collections: sharded queries, batched updates", func() *experiments.Table {
+			return experiments.E9HierarchicalCollections(0, 0, 0)
+		}},
 		{"A1", "Ablation: variants vs regenerate", func() *experiments.Table {
 			return experiments.A1VariantVsRegenerate(30, 3)
 		}},

@@ -16,6 +16,7 @@ import (
 	"log"
 	"time"
 
+	"legion/internal/collection"
 	"legion/internal/core"
 	"legion/internal/host"
 	"legion/internal/loid"
@@ -126,4 +127,27 @@ func main() {
 		}
 	}
 	fmt.Println("one application, two autonomous sites, one schedule")
+
+	// Hierarchical Collections (§4): front both sites' Collections with a
+	// MetaCollection Router, so one query spans the federation — and keeps
+	// answering from the surviving site when a domain drops out.
+	router := collection.NewRouter(app, collection.RouterConfig{
+		Shards:       []loid.LOID{uvaDir.Collection, sdscDir.Collection},
+		ShardTimeout: 2 * time.Second,
+		Route:        collection.RouteByDomain(map[string]int{"uva": 0, "sdsc": 1}),
+	})
+	recs, skipped, err := router.QueryPartial(ctx, `defined($host_arch)`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("federated query: %d hosts across both domains (%d shards skipped)\n",
+		len(recs), skipped)
+
+	sdsc.Close() // one whole site goes dark
+	recs, skipped, err = router.QueryPartial(ctx, `defined($host_arch)`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after sdsc outage: %d hosts still answered, %d shard skipped — partial, not failed\n",
+		len(recs), skipped)
 }

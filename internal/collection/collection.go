@@ -275,12 +275,48 @@ func (c *Collection) Update(member loid.LOID, attrs []attr.Pair, credential stri
 	return nil
 }
 
-// Record is one query result: a member and its description snapshot.
-type Record struct {
-	Member    loid.LOID
-	Attrs     []attr.Pair
-	UpdatedAt time.Time
+// ApplyBatch applies a coalesced update batch in entry order under a
+// single lock acquisition — the server half of the Data Collection
+// Daemon's batched push path. Each entry upserts: an absent member is
+// joined (authorized as OpJoin), a present one updated (OpUpdate).
+// UpdateOnly entries for absent members are dropped rather than joined,
+// so a buffered down-flag cannot resurrect a pruned record. Entries the
+// authorizer refuses are dropped too; the batch never fails wholesale.
+func (c *Collection) ApplyBatch(entries []proto.BatchEntry, credential string) (applied, dropped int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.now()
+	for _, e := range entries {
+		if e.Member.IsNil() {
+			dropped++
+			continue
+		}
+		old, present := c.records[e.Member]
+		op := OpUpdate
+		if !present {
+			if e.UpdateOnly {
+				dropped++
+				continue
+			}
+			op = OpJoin
+		}
+		if c.auth != nil && c.auth(op, e.Member, credential) != nil {
+			dropped++
+			continue
+		}
+		r := newRecord(old, e.Attrs, now)
+		c.records[e.Member] = r
+		c.idx.replace(e.Member, old, r)
+		if present {
+			c.updates.Add(1)
+		}
+		applied++
+	}
+	return applied, dropped
 }
+
+// Record is one query result: a member and its description snapshot.
+type Record = proto.CollectionRecord
 
 // Query evaluates a query-language expression against every record and
 // returns the matches sorted by member LOID (deterministic order).
@@ -435,6 +471,14 @@ func (c *Collection) installMethods() {
 		}
 		return proto.Ack{}, nil
 	})
+	c.Handle(proto.MethodUpdateCollectionBatch, func(_ context.Context, arg any) (any, error) {
+		a, ok := arg.(proto.BatchUpdateArgs)
+		if !ok {
+			return nil, fmt.Errorf("collection: want BatchUpdateArgs, got %T", arg)
+		}
+		applied, dropped := c.ApplyBatch(a.Entries, a.Credential)
+		return proto.BatchUpdateReply{Applied: applied, Dropped: dropped}, nil
+	})
 	c.Handle(proto.MethodQueryCollection, func(ctx context.Context, arg any) (any, error) {
 		a, ok := arg.(proto.QueryArgs)
 		if !ok {
@@ -444,10 +488,8 @@ func (c *Collection) installMethods() {
 		if err != nil {
 			return nil, err
 		}
-		out := make([]proto.CollectionRecord, len(recs))
-		for i, r := range recs {
-			out[i] = proto.CollectionRecord{Member: r.Member, Attrs: r.Attrs}
-		}
-		return proto.QueryReply{Records: out}, nil
+		// Record aliases proto.CollectionRecord, so the reply reuses the
+		// query result without a per-record conversion copy.
+		return proto.QueryReply{Records: recs}, nil
 	})
 }

@@ -68,6 +68,19 @@ type Config struct {
 	// probe, not the sum of all probe timeouts. Zero means 8; 1 probes
 	// serially.
 	Parallelism int
+	// BatchInterval > 0 switches the push half to coalesced batches:
+	// deposits and down-flags are buffered per Collection and flushed as
+	// one UpdateCollectionBatch call every BatchInterval (and whenever a
+	// buffer reaches BatchSize, and on Stop). The trade-off is the
+	// paper's §4 pull/push staleness argument made explicit: Collection
+	// data lags by up to one interval in exchange for one ORB
+	// round-trip per Collection per flush instead of one per resource.
+	BatchInterval time.Duration
+	// BatchSize triggers an early flush when a Collection's buffer holds
+	// this many entries; zero means 256. Buffers are capped at 16× this
+	// to bound memory while a Collection is unreachable (oldest entries
+	// are dropped and counted as errors).
+	BatchSize int
 }
 
 // Daemon pulls attribute snapshots from resources and pushes them into
@@ -83,10 +96,24 @@ type Daemon struct {
 	collections []loid.LOID
 	joined      map[loid.LOID]bool
 	flagged     map[loid.LOID]bool // resources currently marked down
+	batches     map[loid.LOID]*collBatch
 	stop        chan struct{}
 	stopped     bool
 	sweeps      int64
 	errors      int64
+	pushCalls   int64 // ORB calls spent pushing into Collections
+}
+
+// collBatch buffers pending entries for one Collection. mu guards
+// pending; sendMu is held across the swap-and-send of a flush so
+// concurrent flushes serialize and per-member entry order on the wire
+// matches enqueue order (a failed send re-queues its entries at the
+// front under mu before sendMu is released, so no later flush can slip
+// its entries ahead of them).
+type collBatch struct {
+	mu      sync.Mutex
+	sendMu  sync.Mutex
+	pending []proto.BatchEntry
 }
 
 // New creates a Daemon using rt for communication.
@@ -120,6 +147,9 @@ func New(rt *orb.Runtime, cfg Config) *Daemon {
 	if cfg.Breakers != nil {
 		call = resilient.NewCallerWith(rt, cfg.Retry, cfg.Breakers)
 	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 256
+	}
 	return &Daemon{
 		rt:      rt,
 		cfg:     cfg,
@@ -127,8 +157,94 @@ func New(rt *orb.Runtime, cfg Config) *Daemon {
 		live:    cfg.Liveness,
 		joined:  make(map[loid.LOID]bool),
 		flagged: make(map[loid.LOID]bool),
+		batches: make(map[loid.LOID]*collBatch),
 		stop:    make(chan struct{}),
 	}
+}
+
+// batching reports whether the coalesced push path is enabled.
+func (d *Daemon) batching() bool { return d.cfg.BatchInterval > 0 }
+
+func (d *Daemon) batchFor(coll loid.LOID) *collBatch {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	cb := d.batches[coll]
+	if cb == nil {
+		cb = &collBatch{}
+		d.batches[coll] = cb
+	}
+	return cb
+}
+
+// enqueue buffers one entry for coll and flushes if the buffer filled.
+func (d *Daemon) enqueue(ctx context.Context, coll loid.LOID, e proto.BatchEntry) {
+	cb := d.batchFor(coll)
+	cb.mu.Lock()
+	cb.pending = append(cb.pending, e)
+	// Bound memory while coll is unreachable: shed the oldest entries
+	// (their members' later entries, still queued, carry newer state).
+	if max := 16 * d.cfg.BatchSize; len(cb.pending) > max {
+		over := len(cb.pending) - max
+		cb.pending = append(cb.pending[:0:0], cb.pending[over:]...)
+		d.mu.Lock()
+		d.errors += int64(over)
+		d.mu.Unlock()
+	}
+	full := len(cb.pending) >= d.cfg.BatchSize
+	cb.mu.Unlock()
+	if full {
+		d.flushOne(ctx, coll, cb)
+	}
+}
+
+// Flush pushes coll's buffered entries now, as one batch call.
+func (d *Daemon) Flush(ctx context.Context, coll loid.LOID) {
+	d.flushOne(ctx, coll, d.batchFor(coll))
+}
+
+// FlushAll flushes every Collection's buffer.
+func (d *Daemon) FlushAll(ctx context.Context) {
+	d.mu.Lock()
+	colls := make([]loid.LOID, 0, len(d.batches))
+	cbs := make([]*collBatch, 0, len(d.batches))
+	for coll, cb := range d.batches {
+		colls = append(colls, coll)
+		cbs = append(cbs, cb)
+	}
+	d.mu.Unlock()
+	for i := range colls {
+		d.flushOne(ctx, colls[i], cbs[i])
+	}
+}
+
+func (d *Daemon) flushOne(ctx context.Context, coll loid.LOID, cb *collBatch) {
+	cb.sendMu.Lock()
+	defer cb.sendMu.Unlock()
+	cb.mu.Lock()
+	entries := cb.pending
+	cb.pending = nil
+	cb.mu.Unlock()
+	if len(entries) == 0 {
+		return
+	}
+	cctx, cancel := context.WithTimeout(ctx, d.cfg.CallTimeout)
+	defer cancel()
+	d.mu.Lock()
+	d.pushCalls++
+	d.mu.Unlock()
+	_, err := d.call.Call(cctx, coll, proto.MethodUpdateCollectionBatch,
+		proto.BatchUpdateArgs{Entries: entries, Credential: d.cfg.Credential})
+	if err == nil {
+		return
+	}
+	// Re-queue at the front (sendMu is still held, so nothing sent in
+	// between) and retry on the next flush.
+	d.mu.Lock()
+	d.errors++
+	d.mu.Unlock()
+	cb.mu.Lock()
+	cb.pending = append(entries, cb.pending...)
+	cb.mu.Unlock()
 }
 
 // wireLivenessCounters counts liveness transitions into reg: one
@@ -241,11 +357,23 @@ func (d *Daemon) flagDown(ctx context.Context, res loid.LOID, collections []loid
 		{Name: AttrAlive, Value: attr.Bool(false)},
 		{Name: AttrState, Value: attr.String(monitor.LivenessDown.String())},
 	}
+	if d.batching() {
+		// UpdateOnly: if the member was never deposited (or was pruned),
+		// the shard drops the flag instead of creating a ghost record.
+		// A flush failure re-queues the entry, so no error-reset here.
+		for _, coll := range collections {
+			d.enqueue(ctx, coll, proto.BatchEntry{Member: res, Attrs: flag, UpdateOnly: true})
+		}
+		return
+	}
 	for _, coll := range collections {
 		if !d.hasJoined(coll, res) {
 			continue
 		}
 		cctx, cancel := context.WithTimeout(ctx, d.cfg.CallTimeout)
+		d.mu.Lock()
+		d.pushCalls++
+		d.mu.Unlock()
 		_, err := d.call.Call(cctx, coll, proto.MethodUpdateCollectionEntry,
 			proto.UpdateArgs{Member: res, Attrs: flag, Credential: d.cfg.Credential})
 		cancel()
@@ -269,13 +397,21 @@ func (d *Daemon) hasJoined(coll, res loid.LOID) bool {
 	return d.joined[d.joinKey(coll, res)]
 }
 
-// deposit pushes one snapshot, joining the member first if needed.
+// deposit pushes one snapshot, joining the member first if needed. In
+// batched mode it only buffers the entry — the server-side batch apply
+// upserts, so no separate join round-trip (or joined bookkeeping) is
+// needed.
 func (d *Daemon) deposit(ctx context.Context, coll, res loid.LOID, attrs proto.AttributesReply) bool {
+	if d.batching() {
+		d.enqueue(ctx, coll, proto.BatchEntry{Member: res, Attrs: attrs.Attrs})
+		return true
+	}
 	cctx, cancel := context.WithTimeout(ctx, d.cfg.CallTimeout)
 	defer cancel()
 	key := d.joinKey(coll, res)
 	d.mu.Lock()
 	alreadyJoined := d.joined[key]
+	d.pushCalls++
 	d.mu.Unlock()
 	if !alreadyJoined {
 		_, err := d.call.Call(cctx, coll, proto.MethodJoinCollection,
@@ -302,7 +438,8 @@ func (d *Daemon) deposit(ctx context.Context, coll, res loid.LOID, attrs proto.A
 	return true
 }
 
-// Start begins periodic sweeps; Stop ends them.
+// Start begins periodic sweeps (and, in batched mode, periodic
+// flushes); Stop ends them.
 func (d *Daemon) Start() {
 	go func() {
 		t := time.NewTicker(d.cfg.Interval)
@@ -316,15 +453,34 @@ func (d *Daemon) Start() {
 			}
 		}
 	}()
+	if d.batching() {
+		go func() {
+			t := time.NewTicker(d.cfg.BatchInterval)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					d.FlushAll(context.Background())
+				case <-d.stop:
+					return
+				}
+			}
+		}()
+	}
 }
 
-// Stop halts periodic sweeps. Idempotent.
+// Stop halts periodic sweeps and flushes any buffered entries so a
+// shutdown never strands the last interval's updates. Idempotent.
 func (d *Daemon) Stop() {
 	d.mu.Lock()
-	defer d.mu.Unlock()
+	alreadyStopped := d.stopped
 	if !d.stopped {
 		d.stopped = true
 		close(d.stop)
+	}
+	d.mu.Unlock()
+	if !alreadyStopped && d.batching() {
+		d.FlushAll(context.Background())
 	}
 }
 
@@ -333,4 +489,12 @@ func (d *Daemon) Stats() (sweeps, errors int64) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.sweeps, d.errors
+}
+
+// PushCalls reports how many ORB calls the daemon has spent pushing
+// data into Collections — the quantity batching exists to cut.
+func (d *Daemon) PushCalls() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.pushCalls
 }

@@ -1,0 +1,156 @@
+package collection
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"legion/internal/attr"
+	"legion/internal/orb"
+)
+
+// fuzzKeys mixes indexed keys (see DefaultIndexedKeys) with unindexed
+// ones, so generated queries exercise both the pruned path and the
+// fall-back full scan, and conjunctions that mix the two.
+var fuzzKeys = []string{
+	"host_arch", "host_zone", "host_alive", "host_os_name", // indexed
+	"host_load", "host_cpus", "note", // unindexed
+}
+
+var fuzzStrings = []string{"x86", "mips", "sparc", "z1", "z2", ""}
+
+// fuzzValue derives an attribute value from one byte, covering every
+// Value kind plus the int/float equality edge (attr.Int(3) equals
+// attr.Float(3); the index's canonical() must bucket them together).
+func fuzzValue(b byte) attr.Value {
+	switch b % 5 {
+	case 0:
+		return attr.String(fuzzStrings[int(b/5)%len(fuzzStrings)])
+	case 1:
+		return attr.Float(float64(int(b)-128) / 16)
+	case 2:
+		return attr.Int(int64(b%8) - 3)
+	case 3:
+		return attr.Float(float64(b % 8)) // collides with Int buckets
+	default:
+		return attr.Bool(b%2 == 0)
+	}
+}
+
+// buildFromBytes deterministically decodes data into a member→attrs
+// population and applies it, in order, to every given Collection —
+// joins, re-join merges, updates, and leaves, so index maintenance
+// (insert/replace/remove) is exercised, not just bulk load.
+func buildFromBytes(data []byte, colls ...*Collection) {
+	i := 0
+	next := func() (byte, bool) {
+		if i >= len(data) {
+			return 0, false
+		}
+		b := data[i]
+		i++
+		return b, true
+	}
+	for {
+		op, ok := next()
+		if !ok {
+			return
+		}
+		m := member(uint64(op%16) + 1) // 16 members → re-joins and updates happen
+		switch op % 4 {
+		case 3: // leave
+			for _, c := range colls {
+				_ = c.Leave(m, "")
+			}
+		default: // join or merge-update
+			nAttrs, ok := next()
+			if !ok {
+				return
+			}
+			attrs := make([]attr.Pair, 0, nAttrs%4+1)
+			for a := byte(0); a < nAttrs%4+1; a++ {
+				kb, ok1 := next()
+				vb, ok2 := next()
+				if !ok1 || !ok2 {
+					break
+				}
+				attrs = append(attrs, attr.Pair{Name: fuzzKeys[int(kb)%len(fuzzKeys)], Value: fuzzValue(vb)})
+			}
+			for _, c := range colls {
+				_ = c.Join(m, attrs, "")
+			}
+		}
+	}
+}
+
+// FuzzQueryIndexEquivalence is the differential guard on the PR 3 index
+// pruning soundness argument: for arbitrary populations and queries,
+// the indexed path must return exactly the records a full scan returns.
+func FuzzQueryIndexEquivalence(f *testing.F) {
+	seedData := [][]byte{
+		{0, 2, 0, 10, 4, 17},
+		{1, 3, 0, 0, 1, 33, 2, 64, 3, 5, 1, 4, 100, 7, 2, 6, 8},
+		{9, 1, 2, 3, 13, 2, 0, 40, 5, 91, 21, 1, 3, 77, 11, 3},
+	}
+	seedQueries := []string{
+		`$host_arch == "x86"`,
+		`$host_zone == "z1" and $host_load < 0.5`,
+		`$host_alive == true and ($host_arch == "mips" or $host_cpus > 2)`,
+		`defined($host_arch)`,
+		`$host_arch != "x86"`,
+		`$host_cpus == 3 and $host_zone >= "z1"`,
+		`$host_os_name == "" or not ($host_load > 0)`,
+	}
+	for i, d := range seedData {
+		for _, q := range seedQueries {
+			_ = i
+			f.Add(d, q)
+		}
+	}
+	f.Fuzz(func(t *testing.T, data []byte, src string) {
+		rt := orb.NewRuntime("uva")
+		indexed := New(rt, nil) // DefaultIndexedKeys
+		scan := New(rt, nil)
+		scan.SetIndexedKeys() // empty key set: candidates() never prunes
+		buildFromBytes(data, indexed, scan)
+
+		gotRecs, gotErr := indexed.Query(src)
+		wantRecs, wantErr := scan.Query(src)
+		if (gotErr == nil) != (wantErr == nil) {
+			t.Fatalf("error divergence: indexed=%v scan=%v (query %q)", gotErr, wantErr, src)
+		}
+		if gotErr != nil {
+			return // both rejected the query; nothing to compare
+		}
+		if err := sameRecords(gotRecs, wantRecs); err != nil {
+			t.Fatalf("indexed/scan divergence on %q over %v: %v", src, data, err)
+		}
+	})
+}
+
+// sameRecords compares two result sets up to order.
+func sameRecords(a, b []Record) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("result sizes %d vs %d", len(a), len(b))
+	}
+	byMember := func(rs []Record) {
+		sort.Slice(rs, func(i, j int) bool { return rs[i].Member.Less(rs[j].Member) })
+	}
+	byMember(a)
+	byMember(b)
+	for i := range a {
+		if a[i].Member != b[i].Member {
+			return fmt.Errorf("member %d: %v vs %v", i, a[i].Member, b[i].Member)
+		}
+		am, bm := attr.FromPairs(a[i].Attrs), attr.FromPairs(b[i].Attrs)
+		if len(am) != len(bm) {
+			return fmt.Errorf("%v: attr counts %d vs %d", a[i].Member, len(am), len(bm))
+		}
+		for k, v := range am {
+			if w, ok := bm[k]; !ok || !v.Equal(w) {
+				return fmt.Errorf("%v: attr %q %v vs %v", a[i].Member, k, v, w)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,56 @@
+package collection
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"legion/internal/attr"
+	"legion/internal/loid"
+	"legion/internal/orb"
+	"legion/internal/telemetry"
+)
+
+// BenchmarkRouterOverhead isolates what the federation layer adds on
+// top of the shards' own query work: the empty-result pair prices the
+// fixed per-query cost (fan-out goroutines, per-shard deadlines, the
+// resilient call stack), the full-result pair prices the per-record
+// merge. The "direct" baselines query one shard's Collection
+// in-process. Guards the E9 "no worse than a single Collection" bar at
+// the unit level.
+func BenchmarkRouterOverhead(b *testing.B) {
+	rt := orb.NewRuntime("uva")
+	rt.SetMetrics(telemetry.NewDisabled())
+	loids := make([]loid.LOID, 4)
+	colls := make([]*Collection, 4)
+	for i := range loids {
+		colls[i] = New(rt, nil)
+		loids[i] = colls[i].LOID()
+	}
+	r := NewRouter(rt, RouterConfig{Shards: loids})
+	ctx := context.Background()
+	for i := 0; i < 10000; i++ {
+		m := loid.LOID{Domain: "uva", Class: "Host", Instance: uint64(i + 1)}
+		r.Join(ctx, m, []attr.Pair{{Name: "host_zone", Value: attr.String(fmt.Sprintf("z%d", i%20))}}, "")
+	}
+	b.Run("empty-result-router", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			r.QueryPartial(ctx, `$host_zone == "z99"`)
+		}
+	})
+	b.Run("empty-result-direct", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			colls[0].Query(`$host_zone == "z99"`)
+		}
+	})
+	b.Run("full-result-router", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			r.QueryPartial(ctx, `$host_zone == "z3"`)
+		}
+	})
+	b.Run("full-result-direct", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			colls[0].Query(`$host_zone == "z3"`)
+		}
+	})
+}

@@ -66,6 +66,26 @@ type Options struct {
 	// concurrently. Zero means the enactor default (8); 1 is the serial
 	// host-by-host walk.
 	Parallelism int
+	// CollectionShards > 1 partitions the resource directory (paper §4:
+	// Collections "organized so that each covers a subset of the
+	// metasystem's resources"): the Metasystem builds that many
+	// Collection shards fronted by a collection.Router, and every
+	// consumer — schedulers, the quick placer, host push updates, the
+	// Data Collection Daemon — addresses the Router's LOID instead of a
+	// single Collection. 0 or 1 keeps the classic single Collection and
+	// ms.Collection semantics.
+	CollectionShards int
+	// CollectionRoute overrides the member→shard routing when sharded;
+	// nil hashes the member LOID. collection.RouteByDomain pins whole
+	// administrative domains to shards.
+	CollectionRoute func(loid.LOID) int
+	// DaemonBatchInterval, when > 0, makes NewDaemon coalesce its pushes
+	// into one batch call per Collection per interval (see
+	// daemon.Config.BatchInterval).
+	DaemonBatchInterval time.Duration
+	// DaemonBatchSize caps a daemon batch before an early flush; zero
+	// means the daemon default.
+	DaemonBatchSize int
 }
 
 // Metasystem is one administrative domain's assembled Legion RMI.
@@ -78,8 +98,13 @@ type Metasystem struct {
 	HostClass   *classobj.Class
 	VaultClass  *classobj.Class
 
-	// RMI service objects (Figure 3).
+	// RMI service objects (Figure 3). When Options.CollectionShards > 1
+	// the directory is federated: Collection is nil, Shards holds the
+	// per-shard Collections, and Router is the MetaCollection every
+	// consumer addresses (CollectionLOID abstracts over both layouts).
 	Collection *collection.Collection
+	Shards     []*collection.Collection
+	Router     *collection.Router
 	Enactor    *enactor.Enactor
 	Monitor    *monitor.Monitor
 
@@ -133,7 +158,23 @@ func New(domain string, opts Options) *Metasystem {
 	ms.LegionClass = classobj.New(rt, classobj.Config{Name: "Legion"})
 	ms.HostClass = classobj.New(rt, classobj.Config{Name: "Host", Meta: ms.LegionClass.LOID()})
 	ms.VaultClass = classobj.New(rt, classobj.Config{Name: "Vault", Meta: ms.LegionClass.LOID()})
-	ms.Collection = collection.New(rt, opts.CollectionAuth)
+	if opts.CollectionShards > 1 {
+		shardLOIDs := make([]loid.LOID, opts.CollectionShards)
+		for i := range shardLOIDs {
+			shard := collection.New(rt, opts.CollectionAuth)
+			ms.Shards = append(ms.Shards, shard)
+			shardLOIDs[i] = shard.LOID()
+		}
+		ms.Router = collection.NewRouter(rt, collection.RouterConfig{
+			Shards:      shardLOIDs,
+			Parallelism: opts.Parallelism,
+			Route:       opts.CollectionRoute,
+			Retry:       opts.Retry,
+			Breakers:    ms.breakers,
+		})
+	} else {
+		ms.Collection = collection.New(rt, opts.CollectionAuth)
+	}
 	ms.Enactor = enactor.New(rt, enactor.Config{
 		Retry:       opts.Retry,
 		Breakers:    ms.breakers,
@@ -146,6 +187,15 @@ func New(domain string, opts Options) *Metasystem {
 // Breakers exposes the domain-wide circuit-breaker pool (for inspection
 // in tests and operational tooling).
 func (ms *Metasystem) Breakers() *resilient.BreakerSet { return ms.breakers }
+
+// CollectionLOID is the directory address consumers should query: the
+// Router when the directory is sharded, the single Collection otherwise.
+func (ms *Metasystem) CollectionLOID() loid.LOID {
+	if ms.Router != nil {
+		return ms.Router.LOID()
+	}
+	return ms.Collection.LOID()
+}
 
 // Runtime exposes the underlying object runtime.
 func (ms *Metasystem) Runtime() *orb.Runtime { return ms.rt }
@@ -171,9 +221,15 @@ func (ms *Metasystem) AddVault(cfg vault.Config) *vault.Vault {
 func (ms *Metasystem) AddHost(cfg host.Config) *host.Host {
 	h := host.New(ms.rt, cfg)
 	ms.HostClass.AdoptInstance(h.LOID(), loid.Nil, loid.Nil)
-	h.PushTo(ms.Collection.LOID(), ms.opts.Credential)
+	// Hosts push to (and join) the Router when sharded — it forwards to
+	// the owning shard, so the host never learns the partitioning.
+	h.PushTo(ms.CollectionLOID(), ms.opts.Credential)
 	// Step 1 of Figure 3: populate the Collection.
-	_ = ms.Collection.Join(h.LOID(), h.Attributes(), ms.opts.Credential)
+	if ms.Router != nil {
+		_ = ms.Router.Join(context.Background(), h.LOID(), h.Attributes(), ms.opts.Credential)
+	} else {
+		_ = ms.Collection.Join(h.LOID(), h.Attributes(), ms.opts.Credential)
+	}
 	ms.mu.Lock()
 	ms.hosts = append(ms.hosts, h)
 	ms.mu.Unlock()
@@ -201,15 +257,17 @@ func (ms *Metasystem) Vaults() []*vault.Vault {
 // drives sweeps (Sweep for one pass, Start for periodic).
 func (ms *Metasystem) NewDaemon() *daemon.Daemon {
 	d := daemon.New(ms.rt, daemon.Config{
-		Credential:  ms.opts.Credential,
-		Retry:       ms.opts.Retry,
-		Breakers:    ms.breakers,
-		Parallelism: ms.opts.Parallelism,
+		Credential:    ms.opts.Credential,
+		Retry:         ms.opts.Retry,
+		Breakers:      ms.breakers,
+		Parallelism:   ms.opts.Parallelism,
+		BatchInterval: ms.opts.DaemonBatchInterval,
+		BatchSize:     ms.opts.DaemonBatchSize,
 	})
 	for _, h := range ms.Hosts() {
 		d.Watch(h.LOID())
 	}
-	d.PushInto(ms.Collection.LOID())
+	d.PushInto(ms.CollectionLOID())
 	return d
 }
 
@@ -283,7 +341,7 @@ func (ms *Metasystem) Env() *scheduler.Env {
 	defer ms.mu.Unlock()
 	return &scheduler.Env{
 		RT:         ms.rt,
-		Collection: ms.Collection.LOID(),
+		Collection: ms.CollectionLOID(),
 		Rand:       rand.New(rand.NewSource(ms.rng.Int63())),
 		Retry:      ms.opts.Retry,
 		Breakers:   ms.breakers,
@@ -408,7 +466,7 @@ func (ms *Metasystem) ServeDirectory() {
 		ms.mu.Lock()
 		defer ms.mu.Unlock()
 		reply := proto.ServicesReply{
-			Collection: ms.Collection.LOID(),
+			Collection: ms.CollectionLOID(),
 			Enactor:    ms.Enactor.LOID(),
 			Monitor:    ms.Monitor.LOID(),
 			Classes:    make(map[string]loid.LOID, len(ms.classes)),

@@ -5,7 +5,10 @@
 // time.
 package fanout
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // Do calls fn(i) for every i in [0, n), running at most limit calls
 // concurrently, and returns when all have finished. fn must write its
@@ -13,6 +16,10 @@ import "sync"
 // no synchronization is needed beyond the join. limit <= 1 degenerates
 // to a plain loop on the calling goroutine — callers expose
 // "parallelism 1" as an exact serial ablation.
+//
+// The calling goroutine works as one of the limit workers, so a fan-out
+// of width w spawns min(limit, w)-1 goroutines, not w — on the query
+// hot path (one Do per federated query) goroutine churn is measurable.
 func Do(limit, n int, fn func(i int)) {
 	if n <= 0 {
 		return
@@ -26,16 +33,24 @@ func Do(limit, n int, fn func(i int)) {
 		}
 		return
 	}
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, limit)
-	for i := 0; i < n; i++ {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int) {
-			defer wg.Done()
-			defer func() { <-sem }()
+	var next atomic.Int64
+	worker := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
 			fn(i)
-		}(i)
+		}
 	}
+	var wg sync.WaitGroup
+	wg.Add(limit - 1)
+	for w := 1; w < limit; w++ {
+		go func() {
+			defer wg.Done()
+			worker()
+		}()
+	}
+	worker()
 	wg.Wait()
 }

@@ -50,12 +50,15 @@ const (
 	MethodDeleteOPR   = "delete_opr"
 )
 
-// Collection methods (Figure 4).
+// Collection methods (Figure 4). UpdateCollectionBatch is this
+// reproduction's extension for the Data Collection Daemon's coalesced
+// push path: one call deposits many members' updates at once.
 const (
 	MethodJoinCollection        = "JoinCollection"
 	MethodLeaveCollection       = "LeaveCollection"
 	MethodQueryCollection       = "QueryCollection"
 	MethodUpdateCollectionEntry = "UpdateCollectionEntry"
+	MethodUpdateCollectionBatch = "UpdateCollectionBatch"
 )
 
 // Class object methods (§2.1, §3.4).
@@ -258,21 +261,55 @@ type UpdateArgs struct {
 	Credential string
 }
 
+// BatchEntry is one member's contribution to a coalesced update batch.
+type BatchEntry struct {
+	Member loid.LOID
+	Attrs  []attr.Pair
+	// UpdateOnly entries are dropped when the member is not currently in
+	// the Collection instead of joining it — the failure detector's
+	// down-flag must never resurrect (or create) a record for a resource
+	// that was pruned or never deposited.
+	UpdateOnly bool
+}
+
+// BatchUpdateArgs deposits many members' updates in one call. Entries
+// apply in slice order, so a member's later entries win.
+type BatchUpdateArgs struct {
+	Entries    []BatchEntry
+	Credential string
+}
+
+// BatchUpdateReply reports how many entries were applied; Dropped counts
+// UpdateOnly entries skipped for absent members plus entries refused by
+// the authorizer.
+type BatchUpdateReply struct {
+	Applied int
+	Dropped int
+}
+
 // QueryArgs runs a query-language expression over all records.
 type QueryArgs struct {
 	Query string
 }
 
-// CollectionRecord is one resource description.
+// CollectionRecord is one resource description. UpdatedAt is the
+// depositing Collection's receipt time for the latest update — under
+// batched daemon pushes records are bounded-stale, and the timestamp
+// lets federated callers judge that staleness for themselves.
 type CollectionRecord struct {
-	Member loid.LOID
-	Attrs  []attr.Pair
+	Member    loid.LOID
+	Attrs     []attr.Pair
+	UpdatedAt time.Time
 }
 
 // QueryReply is the CollectionData result: every record matching the
-// query.
+// query. SkippedShards is non-zero only for queries answered by a
+// hierarchical Router: it counts Collection shards that contributed no
+// records because they were unreachable, timed out, or breaker-open —
+// the partial-result semantics callers may surface or ignore.
 type QueryReply struct {
-	Records []CollectionRecord
+	Records       []CollectionRecord
+	SkippedShards int
 }
 
 // --- Class object messages ---
@@ -367,7 +404,7 @@ func init() {
 		DefineTriggerArgs{}, RegisterOutcallArgs{}, NotifyArgs{},
 		StoreOPRArgs{}, RetrieveOPRArgs{}, RetrieveOPRReply{}, DeleteOPRArgs{},
 		JoinArgs{}, LeaveArgs{}, UpdateArgs{}, QueryArgs{}, QueryReply{},
-		CollectionRecord{},
+		CollectionRecord{}, BatchEntry{}, BatchUpdateArgs{}, BatchUpdateReply{},
 		CreateInstanceArgs{}, CreateInstanceReply{}, ImplementationsReply{},
 		InstancesReply{}, Placement{}, Implementation{},
 		MakeReservationsArgs{}, FeedbackReply{}, EnactScheduleArgs{},

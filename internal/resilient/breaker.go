@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"legion/internal/loid"
 )
 
 // ErrCircuitOpen reports a call refused locally because the endpoint's
@@ -227,6 +229,11 @@ type BreakerSet struct {
 	m        map[string]*Breaker
 	clock    func() time.Time     // non-nil after SetClock; applied to new breakers
 	onChange func(from, to State) // applied to current and new breakers
+
+	// byLOID memoizes LOID→Breaker so the per-call lookup on the query
+	// hot path skips formatting the LOID into its string key. Entries
+	// alias s.m and live as long as the set, like the breakers they name.
+	byLOID sync.Map
 }
 
 // NewBreakerSet creates an empty set minting breakers with cfg.
@@ -249,6 +256,17 @@ func (s *BreakerSet) For(key string) *Breaker {
 		}
 		s.m[key] = b
 	}
+	return b
+}
+
+// ForLOID is For keyed by a target LOID, memoized so repeated calls for
+// the same endpoint avoid re-deriving the string key.
+func (s *BreakerSet) ForLOID(target loid.LOID) *Breaker {
+	if b, ok := s.byLOID.Load(target); ok {
+		return b.(*Breaker)
+	}
+	b := s.For(target.String())
+	s.byLOID.Store(target, b)
 	return b
 }
 

@@ -66,7 +66,7 @@ func (c *Caller) CallPolicy(ctx context.Context, p Policy, target loid.LOID, met
 func (c *Caller) call(ctx context.Context, p Policy, target loid.LOID, method string, arg any) (any, error) {
 	var br *Breaker
 	if c.breakers != nil {
-		br = c.breakers.For(target.String())
+		br = c.breakers.ForLOID(target)
 	}
 	return p.DoValue(ctx, func(ctx context.Context) (any, error) {
 		if br != nil {

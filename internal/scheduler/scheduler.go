@@ -191,26 +191,39 @@ func matchingHosts(ctx context.Context, env *Env, class loid.LOID) ([]HostInfo, 
 }
 
 // QueryHosts runs an arbitrary query against the Collection and parses
-// host records from the result.
+// host records from the result. When the Collection is a federation
+// Router, the result may silently be partial; schedulers that should
+// react to degraded directories use QueryHostsPartial instead.
 func QueryHosts(ctx context.Context, env *Env, querySrc string) ([]HostInfo, error) {
+	hosts, _, err := QueryHostsPartial(ctx, env, querySrc)
+	return hosts, err
+}
+
+// QueryHostsPartial is QueryHosts surfacing the federation layer's
+// partial-result marker: skipped is how many Collection shards
+// contributed nothing (timed out, unreachable, breaker-open) — always
+// zero when env.Collection is a plain single Collection. A scheduler
+// seeing skipped > 0 knows the host list under-represents the
+// metasystem and can widen its schedule or retry later.
+func QueryHostsPartial(ctx context.Context, env *Env, querySrc string) (hosts []HostInfo, skipped int, err error) {
 	cctx, cancel := context.WithTimeout(ctx, env.timeout())
 	defer cancel()
 	res, err := env.call(cctx, env.Collection, proto.MethodQueryCollection,
 		proto.QueryArgs{Query: querySrc})
 	if err != nil {
-		return nil, fmt.Errorf("scheduler: collection query: %w", err)
+		return nil, 0, fmt.Errorf("scheduler: collection query: %w", err)
 	}
 	reply, ok := res.(proto.QueryReply)
 	if !ok {
-		return nil, fmt.Errorf("scheduler: unexpected reply %T", res)
+		return nil, 0, fmt.Errorf("scheduler: unexpected reply %T", res)
 	}
-	hosts := make([]HostInfo, 0, len(reply.Records))
+	hosts = make([]HostInfo, 0, len(reply.Records))
 	for _, rec := range reply.Records {
 		hosts = append(hosts, parseHostInfo(rec))
 	}
 	// Deterministic base order; randomized policies shuffle explicitly.
 	sort.Slice(hosts, func(i, j int) bool { return hosts[i].LOID.Less(hosts[j].LOID) })
-	return hosts, nil
+	return hosts, reply.SkippedShards, nil
 }
 
 // parseHostInfo converts a Collection record into a HostInfo.
