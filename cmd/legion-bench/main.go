@@ -93,6 +93,9 @@ func catalogue() []experiment {
 		{"E9", "Hierarchical Collections: sharded queries, batched updates", func() *experiments.Table {
 			return experiments.E9HierarchicalCollections(0, 0, 0)
 		}},
+		{"E10", "Rebalancing at scale under migration-path faults", func() *experiments.Table {
+			return experiments.E10RebalanceChaosScale(12, 36, 60, 0.25)
+		}},
 		{"A1", "Ablation: variants vs regenerate", func() *experiments.Table {
 			return experiments.A1VariantVsRegenerate(30, 3)
 		}},

@@ -21,10 +21,12 @@ import (
 	"time"
 
 	"legion/internal/batchq"
+	"legion/internal/classobj"
 	"legion/internal/core"
 	"legion/internal/host"
 	"legion/internal/loid"
 	"legion/internal/proto"
+	"legion/internal/rebalance"
 	"legion/internal/telemetry"
 	"legion/internal/vault"
 )
@@ -42,6 +44,12 @@ func main() {
 		reassess = flag.Duration("reassess", 2*time.Second, "host state reassessment interval")
 		seed     = flag.Int64("seed", 1, "scheduling RNG seed")
 		metrics  = flag.String("metrics-addr", "", "HTTP address for the /metrics and /spans endpoints (empty disables)")
+
+		rebalanceOn   = flag.Bool("rebalance", false, "run the rebalance subsystem: overload triggers migrate objects off hot hosts")
+		rebalanceTh   = flag.Float64("rebalance-threshold", 0.8, "host load above which the overload trigger fires")
+		rebalanceCool = flag.Duration("rebalance-cooldown", 10*time.Second, "per-host hysteresis window between sheds")
+		rebalanceRate = flag.Float64("rebalance-rate", 0, "global migrations/sec cap (0 = unlimited)")
+		rebalanceSwp  = flag.Duration("rebalance-sweep", time.Minute, "reconcile sweep interval (0 disables the sweep)")
 	)
 	flag.Parse()
 
@@ -87,7 +95,27 @@ func main() {
 	}
 
 	// A default user class so clients can place objects immediately.
-	ms.DefineClass("Worker", []proto.Implementation{{Arch: *arch, OS: *osName}})
+	workerClass := ms.DefineClass("Worker", []proto.Implementation{{Arch: *arch, OS: *osName}})
+
+	if *rebalanceOn {
+		rb := rebalance.New(ms, rebalance.Config{
+			Classes:    []*classobj.Class{workerClass},
+			Cooldown:   *rebalanceCool,
+			RatePerSec: *rebalanceRate,
+		})
+		if err := rb.Start(); err != nil {
+			log.Fatalf("rebalance: %v", err)
+		}
+		defer rb.Stop()
+		if *rebalanceSwp > 0 {
+			rb.StartSweeping(*rebalanceSwp)
+		}
+		if err := ms.WatchLoad(context.Background(), *rebalanceTh); err != nil {
+			log.Fatalf("rebalance: watch: %v", err)
+		}
+		log.Printf("legiond: rebalancer on (threshold %.2f, cooldown %v, rate %.2f/s, sweep %v)",
+			*rebalanceTh, *rebalanceCool, *rebalanceRate, *rebalanceSwp)
+	}
 
 	bound, err := ms.ListenAndServe(*addr)
 	if err != nil {

@@ -39,8 +39,12 @@ import (
 type SiteSpec struct {
 	// Domain names the site (and its runtime).
 	Domain string
-	// Hosts is how many hosts the site runs; each shares one vault.
+	// Hosts is how many hosts the site runs.
 	Hosts int
+	// Vaults is how many vaults the site runs (0 means 1). Every host can
+	// reach every site vault, so migration tests can exercise the
+	// cross-vault OPR move.
+	Vaults int
 	// HostMutate, when non-nil, adjusts each host's config (site policy,
 	// reservation timeouts, capacity).
 	HostMutate func(i int, c *host.Config)
@@ -100,12 +104,20 @@ func NewWorld(seed int64, opts core.Options, specs ...SiteSpec) (*World, error) 
 		o := opts
 		o.Seed = opts.Seed + int64(i)
 		ms := core.New(spec.Domain, o)
-		v := ms.AddVault(vault.Config{Zone: spec.Domain})
+		nVaults := spec.Vaults
+		if nVaults <= 0 {
+			nVaults = 1
+		}
+		vaults := make([]loid.LOID, 0, nVaults)
+		for j := 0; j < nVaults; j++ {
+			v := ms.AddVault(vault.Config{Zone: spec.Domain})
+			vaults = append(vaults, v.LOID())
+		}
 		for j := 0; j < spec.Hosts; j++ {
 			cfg := host.Config{
 				Arch: "x86", OS: "Linux", OSVersion: "2.2",
 				CPUs: 4, MemoryMB: 512, Zone: spec.Domain,
-				Vaults: []loid.LOID{v.LOID()},
+				Vaults: append([]loid.LOID(nil), vaults...),
 			}
 			if spec.HostMutate != nil {
 				spec.HostMutate(j, &cfg)
@@ -230,6 +242,36 @@ func (w *World) CrashHost(s *Site, i int) (revive func()) {
 	h := s.MS.Hosts()[i]
 	s.MS.Runtime().Unregister(h.LOID())
 	return func() { s.MS.Runtime().Register(h) }
+}
+
+// CrashVault makes site s's i-th vault vanish the same way CrashHost
+// kills a host: unregistered from the runtime, every StoreOPR /
+// RetrieveOPR / DeleteOPR to it fails with ErrNotBound. The returned
+// function resurrects it (its stored OPRs intact — a vault is persistent
+// storage, so a crash loses availability, not state).
+func (w *World) CrashVault(s *Site, i int) (revive func()) {
+	v := s.MS.Vaults()[i]
+	s.MS.Runtime().Unregister(v.LOID())
+	return func() { s.MS.Runtime().Register(v) }
+}
+
+// FlakyMethod makes a seeded fraction of calls to one specific method on
+// one specific target fail — surgical fault injection for testing a
+// single protocol step (e.g. MethodStartObject on a migration
+// destination) while the rest of the world stays healthy.
+func (w *World) FlakyMethod(rt *orb.Runtime, target loid.LOID, method string, rate float64) {
+	w.addRule(rt, func(t loid.LOID, m string) error {
+		if t != target || m != method {
+			return nil
+		}
+		w.mu.Lock()
+		hit := w.rng.Float64() < rate
+		w.mu.Unlock()
+		if hit {
+			return fmt.Errorf("%w: flaky method %s on %v", orb.ErrInjectedFault, method, target)
+		}
+		return nil
+	})
 }
 
 // Slow makes every call through site s's runtime take at least base

@@ -119,6 +119,55 @@ type Metasystem struct {
 	vaults  []*vault.Vault
 	classes map[string]*classobj.Class
 	rng     *rand.Rand
+
+	// migMu guards migLocks, the per-instance migration locks: Migrate
+	// and EnsureRunning serialize per instance, so two concurrent
+	// rebalancing decisions can never interleave ForgetInstance /
+	// AdoptInstance (or deactivate an object twice). Entries are
+	// refcounted and removed when the last waiter releases.
+	migMu    sync.Mutex
+	migLocks map[loid.LOID]*instanceLock
+}
+
+// instanceLock is one refcounted per-instance migration mutex.
+type instanceLock struct {
+	mu   sync.Mutex
+	refs int
+}
+
+// lockInstance acquires the migration lock for an instance, returning
+// the release function.
+func (ms *Metasystem) lockInstance(instance loid.LOID) (unlock func()) {
+	ms.migMu.Lock()
+	if ms.migLocks == nil {
+		ms.migLocks = make(map[loid.LOID]*instanceLock)
+	}
+	l := ms.migLocks[instance]
+	if l == nil {
+		l = &instanceLock{}
+		ms.migLocks[instance] = l
+	}
+	l.refs++
+	ms.migMu.Unlock()
+	l.mu.Lock()
+	return func() {
+		l.mu.Unlock()
+		ms.migMu.Lock()
+		l.refs--
+		if l.refs == 0 {
+			delete(ms.migLocks, instance)
+		}
+		ms.migMu.Unlock()
+	}
+}
+
+// MigrationInFlight reports whether a Migrate/EnsureRunning currently
+// holds (or is queued on) the instance's migration lock — rebalancing
+// policies use it to skip instances already being moved.
+func (ms *Metasystem) MigrationInFlight(instance loid.LOID) bool {
+	ms.migMu.Lock()
+	defer ms.migMu.Unlock()
+	return ms.migLocks[instance] != nil
 }
 
 // New builds a Metasystem for the given administrative domain.
@@ -365,7 +414,18 @@ func (ms *Metasystem) PlaceApplicationLimits(ctx context.Context, gen scheduler.
 // the current host (OPR to its vault), move the OPR to the new vault if
 // different, reactivate on the destination under a fresh reservation, and
 // update the class's records.
+//
+// Migrate holds the instance's migration lock for its whole duration, so
+// concurrent Migrate/EnsureRunning calls on the same instance serialize
+// instead of double-deactivating or interleaving the class-record swap.
+// Every failure branch cancels the destination reservation and removes
+// any OPR copy the attempt left in the destination vault (restoring the
+// source vault's copy first, so the passive state is never held only in
+// memory); see DESIGN.md §11 for the full failure matrix.
 func (ms *Metasystem) Migrate(ctx context.Context, class *classobj.Class, instance, toHost, toVault loid.LOID) error {
+	unlock := ms.lockInstance(instance)
+	defer unlock()
+
 	fromHost, fromVault, err := class.WhereIs(instance)
 	if err != nil {
 		return err
@@ -386,23 +446,31 @@ func (ms *Metasystem) Migrate(ctx context.Context, class *classobj.Class, instan
 		return fmt.Errorf("core: migrate %v: destination reservation: %w", instance, err)
 	}
 	tok := res.(proto.MakeReservationReply).Token
+	cancelTok := func() {
+		cctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), 5*time.Second)
+		defer cancel()
+		_, _ = ms.rt.Call(cctx, toHost, proto.MethodCancelReservation, proto.TokenArgs{Token: tok})
+	}
 
 	// Shut down: the host stores the OPR in the instance's current vault
 	// and returns it.
 	dres, err := ms.rt.Call(ctx, fromHost, proto.MethodDeactivateObject, proto.ObjectArgs{Object: instance})
 	if err != nil {
 		// Roll the reservation back; the object is still running.
-		_, _ = ms.rt.Call(ctx, toHost, proto.MethodCancelReservation, proto.TokenArgs{Token: tok})
+		cancelTok()
 		return fmt.Errorf("core: migrate %v: deactivate on %v: %w", instance, fromHost, err)
 	}
 	state := dres.(proto.DeactivateReply).OPR
 
 	// Move the passive state to the new vault if necessary.
+	moved := false
 	if toVault != fromVault {
 		if _, err := ms.rt.Call(ctx, toVault, proto.MethodStoreOPR, proto.StoreOPRArgs{OPR: state}); err != nil {
+			cancelTok()
 			return ms.reactivateInPlace(ctx, class, instance, fromHost, fromVault, state,
 				fmt.Errorf("core: migrate %v: store OPR in %v: %w", instance, toVault, err))
 		}
+		moved = true
 		_, _ = ms.rt.Call(ctx, fromVault, proto.MethodDeleteOPR, proto.DeleteOPRArgs{Object: instance})
 	}
 
@@ -413,8 +481,21 @@ func (ms *Metasystem) Migrate(ctx context.Context, class *classobj.Class, instan
 		Instances: []loid.LOID{instance},
 		State:     state,
 	}); err != nil {
-		return ms.reactivateInPlace(ctx, class, instance, fromHost, fromVault, state,
-			fmt.Errorf("core: migrate %v: reactivate on %v: %w", instance, toHost, err))
+		cause := fmt.Errorf("core: migrate %v: reactivate on %v: %w", instance, toHost, err)
+		// The token was granted and possibly consumed by the failed
+		// redeem attempt; cancel releases it either way.
+		cancelTok()
+		if moved {
+			// The copy now sits in toVault while the object returns to
+			// fromVault. Restore the source copy first, and only drop the
+			// destination copy once the state is durable at the source
+			// again — the passive state must never exist solely in this
+			// call frame.
+			if _, rerr := ms.rt.Call(ctx, fromVault, proto.MethodStoreOPR, proto.StoreOPRArgs{OPR: state}); rerr == nil {
+				_, _ = ms.rt.Call(ctx, toVault, proto.MethodDeleteOPR, proto.DeleteOPRArgs{Object: instance})
+			}
+		}
+		return ms.reactivateInPlace(ctx, class, instance, fromHost, fromVault, state, cause)
 	}
 	class.ForgetInstance(instance)
 	class.AdoptInstance(instance, toHost, toVault)
@@ -422,7 +503,9 @@ func (ms *Metasystem) Migrate(ctx context.Context, class *classobj.Class, instan
 }
 
 // reactivateInPlace is the migration failure path: put the object back
-// where it was so a failed migration degrades to a no-op.
+// where it was so a failed migration degrades to a no-op. The recovery
+// reservation is cancelled if its redeem fails, so even a doubly-failed
+// migration leaks no token.
 func (ms *Metasystem) reactivateInPlace(ctx context.Context, class *classobj.Class, instance, fromHost, fromVault loid.LOID, state *opr.OPR, cause error) error {
 	res, err := ms.rt.Call(ctx, fromHost, proto.MethodMakeReservation, proto.MakeReservationArgs{
 		Requester: ms.Monitor.LOID(),
@@ -433,15 +516,239 @@ func (ms *Metasystem) reactivateInPlace(ctx context.Context, class *classobj.Cla
 	if err != nil {
 		return fmt.Errorf("%w (and recovery reservation failed: %v)", cause, err)
 	}
+	rtok := res.(proto.MakeReservationReply).Token
 	if _, err := ms.rt.Call(ctx, fromHost, proto.MethodStartObject, proto.StartObjectArgs{
-		Token:     res.(proto.MakeReservationReply).Token,
+		Token:     rtok,
 		Class:     class.LOID(),
 		Instances: []loid.LOID{instance},
 		State:     state,
 	}); err != nil {
+		cctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), 5*time.Second)
+		defer cancel()
+		_, _ = ms.rt.Call(cctx, fromHost, proto.MethodCancelReservation, proto.TokenArgs{Token: rtok})
 		return fmt.Errorf("%w (and recovery reactivation failed: %v)", cause, err)
 	}
 	return cause
+}
+
+// HostByLOID returns the metasystem's Host object with the given LOID,
+// or nil.
+func (ms *Metasystem) HostByLOID(l loid.LOID) *host.Host {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	for _, h := range ms.hosts {
+		if h.LOID() == l {
+			return h
+		}
+	}
+	return nil
+}
+
+// VaultByLOID returns the metasystem's Vault object with the given LOID,
+// or nil.
+func (ms *Metasystem) VaultByLOID(l loid.LOID) *vault.Vault {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	for _, v := range ms.vaults {
+		if v.LOID() == l {
+			return v
+		}
+	}
+	return nil
+}
+
+// EnsureRunning verifies the instance is active where its class records
+// say, and if it is not — a migration died after deactivation, or its
+// host crashed and was replaced — reactivates it from the newest stored
+// OPR, preferring the recorded host and falling back to any host that
+// can reach the OPR's vault. It also deletes stray OPR copies other
+// vaults hold once the object is running again. This is the anti-entropy
+// half of migration fault tolerance: the rebalance subsystem calls it
+// after failed migrations and from its reconcile sweep.
+func (ms *Metasystem) EnsureRunning(ctx context.Context, class *classobj.Class, instance loid.LOID) error {
+	unlock := ms.lockInstance(instance)
+	defer unlock()
+
+	hostL, vaultL, err := class.WhereIs(instance)
+	if err != nil {
+		return err
+	}
+	if h := ms.HostByLOID(hostL); h != nil && h.IsRunning(instance) {
+		ms.cleanStrayOPRs(ctx, instance, vaultL)
+		return nil
+	}
+
+	// Find the newest surviving OPR, preferring the recorded vault.
+	type copyAt struct {
+		vault loid.LOID
+		state *opr.OPR
+	}
+	var copies []copyAt
+	for _, v := range ms.Vaults() {
+		res, err := ms.rt.Call(ctx, v.LOID(), proto.MethodRetrieveOPR, proto.RetrieveOPRArgs{Object: instance})
+		if err != nil {
+			continue // not here, or vault unreachable — keep looking
+		}
+		copies = append(copies, copyAt{vault: v.LOID(), state: res.(proto.RetrieveOPRReply).OPR})
+	}
+	if len(copies) == 0 {
+		return fmt.Errorf("core: ensure-running %v: not active and no OPR found in any vault", instance)
+	}
+	best := copies[0]
+	for _, c := range copies[1:] {
+		if c.state.Version > best.state.Version ||
+			(c.state.Version == best.state.Version && c.vault == vaultL) {
+			best = c
+		}
+	}
+
+	// Candidate hosts: the recorded one first, then anyone reaching the
+	// OPR's vault.
+	candidates := []loid.LOID{hostL}
+	for _, h := range ms.Hosts() {
+		if h.LOID() == hostL {
+			continue
+		}
+		for _, v := range h.CompatibleVaults() {
+			if v == best.vault {
+				candidates = append(candidates, h.LOID())
+				break
+			}
+		}
+	}
+	var lastErr error
+	for _, cand := range candidates {
+		res, err := ms.rt.Call(ctx, cand, proto.MethodMakeReservation, proto.MakeReservationArgs{
+			Requester: ms.Monitor.LOID(),
+			Vault:     best.vault,
+			Type:      reservation.OneShotTimesharing,
+			Duration:  time.Hour,
+		})
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		tok := res.(proto.MakeReservationReply).Token
+		if _, err := ms.rt.Call(ctx, cand, proto.MethodStartObject, proto.StartObjectArgs{
+			Token:     tok,
+			Class:     class.LOID(),
+			Instances: []loid.LOID{instance},
+			State:     best.state,
+		}); err != nil {
+			lastErr = err
+			cctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), 5*time.Second)
+			_, _ = ms.rt.Call(cctx, cand, proto.MethodCancelReservation, proto.TokenArgs{Token: tok})
+			cancel()
+			continue
+		}
+		class.ForgetInstance(instance)
+		class.AdoptInstance(instance, cand, best.vault)
+		ms.cleanStrayOPRs(ctx, instance, best.vault)
+		return nil
+	}
+	return fmt.Errorf("core: ensure-running %v: no candidate host could reactivate: %w", instance, lastErr)
+}
+
+// cleanStrayOPRs best-effort deletes OPR copies for the instance from
+// every vault except keep — the duplicates a fault-interrupted
+// cross-vault move can leave behind.
+func (ms *Metasystem) cleanStrayOPRs(ctx context.Context, instance, keep loid.LOID) {
+	for _, v := range ms.Vaults() {
+		if v.LOID() == keep {
+			continue
+		}
+		has := false
+		for _, o := range v.Objects() {
+			if o == instance {
+				has = true
+				break
+			}
+		}
+		if has {
+			_, _ = ms.rt.Call(ctx, v.LOID(), proto.MethodDeleteOPR, proto.DeleteOPRArgs{Object: instance})
+		}
+	}
+}
+
+// MigrationAudit is the token/OPR conservation report AuditMigrations
+// computes: after any migration episode quiesces, a healthy metasystem
+// reports Clean() == true.
+type MigrationAudit struct {
+	// Missing lists instances running on no host.
+	Missing []loid.LOID
+	// Duplicated lists instances running on more than one host at once.
+	Duplicated []loid.LOID
+	// Misplaced lists instances running somewhere other than where their
+	// class records say.
+	Misplaced []loid.LOID
+	// OrphanOPRs lists instances with an OPR copy in a vault other than
+	// their current (class-recorded) vault.
+	OrphanOPRs []loid.LOID
+	// LeakedTokens counts live one-shot reservations backing no running
+	// object, summed across hosts.
+	LeakedTokens int
+}
+
+// Clean reports whether every conservation invariant held.
+func (a MigrationAudit) Clean() bool {
+	return len(a.Missing) == 0 && len(a.Duplicated) == 0 &&
+		len(a.Misplaced) == 0 && len(a.OrphanOPRs) == 0 && a.LeakedTokens == 0
+}
+
+// String summarizes the violations.
+func (a MigrationAudit) String() string {
+	return fmt.Sprintf("missing=%v duplicated=%v misplaced=%v orphanOPRs=%v leakedTokens=%d",
+		a.Missing, a.Duplicated, a.Misplaced, a.OrphanOPRs, a.LeakedTokens)
+}
+
+// AuditMigrations checks token/OPR conservation for every instance of
+// the given classes: each must run on exactly one host (the one its
+// class records), no vault other than its current one may hold its OPR,
+// and no host may hold a live one-shot reservation that backs nothing.
+func (ms *Metasystem) AuditMigrations(classes ...*classobj.Class) MigrationAudit {
+	var a MigrationAudit
+	hosts := ms.Hosts()
+	vaults := ms.Vaults()
+	for _, c := range classes {
+		for _, inst := range c.Instances() {
+			recHost, recVault, err := c.WhereIs(inst)
+			if err != nil {
+				continue
+			}
+			runningOn := 0
+			placedRight := false
+			for _, h := range hosts {
+				if h.IsRunning(inst) {
+					runningOn++
+					if h.LOID() == recHost {
+						placedRight = true
+					}
+				}
+			}
+			switch {
+			case runningOn == 0:
+				a.Missing = append(a.Missing, inst)
+			case runningOn > 1:
+				a.Duplicated = append(a.Duplicated, inst)
+			case !placedRight:
+				a.Misplaced = append(a.Misplaced, inst)
+			}
+			for _, v := range vaults {
+				if v.LOID() == recVault {
+					continue
+				}
+				for _, o := range v.Objects() {
+					if o == inst {
+						a.OrphanOPRs = append(a.OrphanOPRs, inst)
+					}
+				}
+			}
+		}
+	}
+	for _, h := range hosts {
+		a.LeakedTokens += h.ReservationLeaks()
+	}
+	return a
 }
 
 // WatchLoad installs an overload trigger on every current host and

@@ -410,6 +410,37 @@ func (h *Host) ReapReservations() int { return h.table.Reap() }
 // after failed negotiations.
 func (h *Host) ActiveReservations() int { return h.table.Active() }
 
+// ReservationLeaks reaps the table and returns the number of live
+// one-shot reservations not backing any running object. Migration only
+// ever takes one-shot tokens, so after the system quiesces this counts
+// exactly the tokens a failed migration forgot to cancel: an unconfirmed
+// grant nobody redeemed, or a consumed token whose object is gone without
+// the release path running. It must be zero after any migration episode.
+func (h *Host) ReservationLeaks() int {
+	h.table.Reap()
+	h.mu.Lock()
+	inUse := make(map[uint64]bool, len(h.running))
+	for _, ro := range h.running {
+		inUse[ro.tok.ID] = true
+	}
+	h.mu.Unlock()
+	n := 0
+	for _, e := range h.table.Snapshot() {
+		if !e.Token.Type.Reuse && !inUse[e.Token.ID] {
+			n++
+		}
+	}
+	return n
+}
+
+// IsRunning reports whether the named instance is active on this host.
+func (h *Host) IsRunning(instance loid.LOID) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	_, ok := h.running[instance]
+	return ok
+}
+
 // StartReaper runs ReapReservations every interval until the returned
 // stop function is called.
 func (h *Host) StartReaper(interval time.Duration) (stop func()) {
@@ -487,7 +518,9 @@ func (h *Host) vaultOK(ctx context.Context, v loid.LOID) error {
 	if !found {
 		return fmt.Errorf("%w: %v not in host's vault list", ErrVaultUnreachable, v)
 	}
-	res, err := h.rt.Call(ctx, v, proto.MethodVaultOK, h.cfg.Zone)
+	// Identity + zone probe: the vault confirms it is the vault we think
+	// it is and that a host in our zone can reach it.
+	res, err := h.rt.Call(ctx, v, proto.MethodVaultOK, proto.VaultOKArgs{Vault: v, Zone: h.cfg.Zone})
 	if err != nil {
 		return fmt.Errorf("%w: %v", ErrVaultUnreachable, err)
 	}
@@ -788,7 +821,10 @@ func (h *Host) installMethods() {
 			return nil, fmt.Errorf("host: want RegisterOutcallArgs, got %T", arg)
 		}
 		monitor := a.Monitor
-		h.trigs.RegisterOutcall(a.Trigger, func(ev rge.Event) {
+		// Keyed by the registering Monitor: a re-watch (reconnect, retried
+		// Watch) replaces the previous registration instead of stacking a
+		// duplicate, so one trigger firing notifies each Monitor once.
+		h.trigs.RegisterOutcallKeyed(a.Trigger, monitor.String(), func(ev rge.Event) {
 			// The outcall is a method invocation on the Monitor; failures
 			// are tolerated (the Monitor may be down).
 			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)

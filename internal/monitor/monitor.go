@@ -13,9 +13,11 @@
 // This Monitor is an orb object that (a) installs guarded triggers on
 // Hosts and registers itself for their outcalls, and (b) fans incoming
 // events out to registered handlers — typically a Scheduler's reschedule
-// routine or the Metasystem's migration logic (package core). It can be
-// embedded behind an Enactor or Scheduler, preserving the paper's
-// "no separate monitor objects" option.
+// routine or the rebalance subsystem's migration planner. Synchronous
+// handlers (OnEvent) run on the delivering goroutine — which is the
+// Host's outcall goroutine, inside the Host's RPC timeout — so anything
+// that migrates, negotiates, or otherwise blocks must subscribe through
+// OnEventAsync, which decouples delivery behind a bounded queue.
 package monitor
 
 import (
@@ -27,10 +29,23 @@ import (
 	"legion/internal/loid"
 	"legion/internal/orb"
 	"legion/internal/proto"
+	"legion/internal/telemetry"
 )
 
 // Handler receives trigger events delivered to the Monitor.
 type Handler func(ev proto.NotifyArgs)
+
+// DefaultQueueDepth bounds an async subscription's event queue when the
+// subscriber passes no explicit depth.
+const DefaultQueueDepth = 256
+
+// asyncSub is one OnEventAsync subscription: a bounded queue drained by
+// a dedicated goroutine, so slow handlers shed events instead of
+// stalling the Host outcall that delivered them.
+type asyncSub struct {
+	ch   chan proto.NotifyArgs
+	done chan struct{}
+}
 
 // Monitor receives Host trigger outcalls and dispatches them to handlers.
 // Safe for concurrent use.
@@ -40,16 +55,25 @@ type Monitor struct {
 
 	mu       sync.Mutex
 	handlers []Handler
+	asyncs   []*asyncSub
 	events   []proto.NotifyArgs
 	maxKeep  int
+
+	queueDepth *telemetry.Gauge
+	delivered  *telemetry.Counter
+	dropped    *telemetry.Counter
 }
 
 // New creates a Monitor, registers its notify method and itself with rt.
 func New(rt *orb.Runtime) *Monitor {
+	reg := rt.Metrics()
 	m := &Monitor{
 		ServiceObject: orb.NewServiceObject(rt.Mint("Monitor")),
 		rt:            rt,
 		maxKeep:       1024,
+		queueDepth:    reg.Gauge("legion_monitor_queue_depth"),
+		delivered:     reg.Counter("legion_monitor_events_delivered_total"),
+		dropped:       reg.Counter("legion_monitor_events_dropped_total"),
 	}
 	m.Handle(proto.MethodNotify, func(_ context.Context, arg any) (any, error) {
 		a, ok := arg.(proto.NotifyArgs)
@@ -64,12 +88,85 @@ func New(rt *orb.Runtime) *Monitor {
 }
 
 // OnEvent registers a handler for every future event. Handlers run
-// synchronously on the delivering goroutine and must not block.
+// synchronously on the delivering goroutine — inside the Host's outcall
+// RPC timeout — and must not block; blocking work belongs behind
+// OnEventAsync.
 func (m *Monitor) OnEvent(h Handler) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.handlers = append(m.handlers, h)
 }
+
+// OnEventAsync registers a handler behind a bounded dispatch queue of
+// the given depth (<= 0 uses DefaultQueueDepth). Delivery never blocks:
+// when the subscriber falls behind and its queue fills, the newest event
+// is dropped and counted in legion_monitor_events_dropped_total — for
+// load triggers this is safe, the next reassessment re-fires. The
+// returned stop function drains nothing: it detaches the subscription
+// and terminates its dispatch goroutine after the in-flight handler
+// call, then returns.
+func (m *Monitor) OnEventAsync(depth int, h Handler) (stop func()) {
+	if depth <= 0 {
+		depth = DefaultQueueDepth
+	}
+	sub := &asyncSub{
+		ch:   make(chan proto.NotifyArgs, depth),
+		done: make(chan struct{}),
+	}
+	m.mu.Lock()
+	m.asyncs = append(m.asyncs, sub)
+	m.mu.Unlock()
+
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		for {
+			select {
+			case ev := <-sub.ch:
+				m.queueDepth.Add(-1)
+				m.delivered.Inc()
+				h(ev)
+			case <-sub.done:
+				return
+			}
+		}
+	}()
+
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			m.mu.Lock()
+			for i, s := range m.asyncs {
+				if s == sub {
+					m.asyncs = append(m.asyncs[:i], m.asyncs[i+1:]...)
+					break
+				}
+			}
+			m.mu.Unlock()
+			close(sub.done)
+			<-finished
+			// Account for events still queued at detach.
+			for {
+				select {
+				case <-sub.ch:
+					m.queueDepth.Add(-1)
+					m.dropped.Inc()
+				default:
+					return
+				}
+			}
+		})
+	}
+}
+
+// QueueDepth returns the number of events currently queued across all
+// async subscriptions (the live value of legion_monitor_queue_depth).
+func (m *Monitor) QueueDepth() int {
+	return int(m.queueDepth.Value())
+}
+
+// DroppedEvents returns how many events overflowed async queues.
+func (m *Monitor) DroppedEvents() int64 { return m.dropped.Value() }
 
 func (m *Monitor) deliver(ev proto.NotifyArgs) {
 	m.mu.Lock()
@@ -78,7 +175,16 @@ func (m *Monitor) deliver(ev proto.NotifyArgs) {
 		m.events = append([]proto.NotifyArgs(nil), m.events[len(m.events)-m.maxKeep:]...)
 	}
 	hs := append([]Handler(nil), m.handlers...)
+	subs := append([]*asyncSub(nil), m.asyncs...)
 	m.mu.Unlock()
+	for _, sub := range subs {
+		select {
+		case sub.ch <- ev:
+			m.queueDepth.Add(1)
+		default:
+			m.dropped.Inc()
+		}
+	}
 	for _, h := range hs {
 		h(ev)
 	}
@@ -101,10 +207,24 @@ func (m *Monitor) EventCount() int {
 // Watch installs a guarded trigger on a Host and registers this Monitor
 // for its outcalls — the §3.5 registration sequence. The guard is a
 // query-language expression over the Host's attributes, e.g.
-// "$host_load > 0.8".
+// "$host_load > 0.8". Watch is idempotent: re-watching the same
+// (host, trigger) replaces the previous registration (the Host dedupes
+// outcalls per Monitor), so a reconnecting Monitor never causes one
+// event to notify it twice. A caller deadline shorter than the default
+// 30 s budget is honored as-is; only deadline-free contexts get the
+// default applied.
 func (m *Monitor) Watch(ctx context.Context, hostL loid.LOID, trigger, guard string) error {
-	cctx, cancel := context.WithTimeout(ctx, 30*time.Second)
-	defer cancel()
+	cctx := ctx
+	if _, hasDeadline := ctx.Deadline(); !hasDeadline {
+		var cancel context.CancelFunc
+		cctx, cancel = context.WithTimeout(ctx, 30*time.Second)
+		defer cancel()
+	}
+	// Loopback calls dispatch without consulting the context, so an
+	// already-expired caller deadline is enforced here.
+	if err := cctx.Err(); err != nil {
+		return fmt.Errorf("monitor: watch %v: %w", hostL, err)
+	}
 	if _, err := m.rt.Call(cctx, hostL, proto.MethodDefineTrigger,
 		proto.DefineTriggerArgs{Name: trigger, Guard: guard}); err != nil {
 		return fmt.Errorf("monitor: define trigger on %v: %w", hostL, err)

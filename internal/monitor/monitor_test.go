@@ -4,6 +4,7 @@ import (
 	"context"
 	"sync"
 	"testing"
+	"time"
 
 	"legion/internal/attr"
 	"legion/internal/host"
@@ -119,4 +120,145 @@ func TestNotifyBadArg(t *testing.T) {
 	if _, err := rt.Call(context.Background(), m.LOID(), proto.MethodNotify, 42); err == nil {
 		t.Error("bad arg accepted")
 	}
+}
+
+// TestWatchIdempotent is the ISSUE 5 regression: every repeated Watch on
+// the same (host, trigger) used to append another outcall, so one
+// trigger firing notified the Monitor N times — and N grew every time a
+// reconnecting Monitor re-registered. The Host now dedupes outcalls per
+// Monitor, making Watch idempotent.
+func TestWatchIdempotent(t *testing.T) {
+	rt, h := newHostEnv(t)
+	m := New(rt)
+	ctx := context.Background()
+
+	for i := 0; i < 3; i++ {
+		if err := m.Watch(ctx, h.LOID(), "overload", "$host_load > 0.8"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := h.Triggers().OutcallCount("overload"); n != 1 {
+		t.Fatalf("outcalls after 3 Watches: %d, want 1", n)
+	}
+
+	var mu sync.Mutex
+	events := 0
+	m.OnEvent(func(proto.NotifyArgs) {
+		mu.Lock()
+		events++
+		mu.Unlock()
+	})
+	h.SetExternalLoad(0.95)
+	h.Reassess(ctx)
+	mu.Lock()
+	defer mu.Unlock()
+	if events != 1 {
+		t.Fatalf("one firing delivered %d events, want 1", events)
+	}
+
+	// A second Monitor is a distinct subscriber, not a duplicate.
+	m2 := New(rt)
+	if err := m2.Watch(ctx, h.LOID(), "overload", "$host_load > 0.8"); err != nil {
+		t.Fatal(err)
+	}
+	if n := h.Triggers().OutcallCount("overload"); n != 2 {
+		t.Fatalf("outcalls with two Monitors: %d, want 2", n)
+	}
+}
+
+// TestWatchHonorsCallerDeadline: a caller deadline shorter than the
+// default 30s budget must be respected rather than replaced.
+func TestWatchHonorsCallerDeadline(t *testing.T) {
+	rt, h := newHostEnv(t)
+	m := New(rt)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	time.Sleep(time.Millisecond) // deadline definitely past
+	if err := m.Watch(ctx, h.LOID(), "overload", "$host_load > 0.8"); err == nil {
+		t.Fatal("Watch with expired caller deadline should fail")
+	}
+}
+
+// TestOnEventAsyncDecouplesDelivery: events queue behind the bounded
+// channel and the handler runs off the delivering goroutine; overflow is
+// dropped and counted, never blocking delivery.
+func TestOnEventAsyncDecouplesDelivery(t *testing.T) {
+	rt, _ := newHostEnv(t)
+	m := New(rt)
+
+	release := make(chan struct{})
+	entered := make(chan struct{}, 8)
+	var mu sync.Mutex
+	handled := 0
+	stop := m.OnEventAsync(2, func(proto.NotifyArgs) {
+		entered <- struct{}{}
+		<-release // simulate a slow migration episode
+		mu.Lock()
+		handled++
+		mu.Unlock()
+	})
+	defer stop()
+
+	// First event parks the dispatcher inside the handler...
+	m.deliver(proto.NotifyArgs{Trigger: "overload"})
+	select {
+	case <-entered:
+	case <-time.After(2 * time.Second):
+		t.Fatal("handler never entered")
+	}
+	// ...then a burst of 4 against the busy subscription: 2 queue
+	// (depth 2), 2 drop.
+	for i := 0; i < 4; i++ {
+		m.deliver(proto.NotifyArgs{Trigger: "overload"})
+	}
+	// Delivery returned immediately for all five (we are here), with the
+	// overflow counted as dropped.
+	deadline := time.After(2 * time.Second)
+	for m.DroppedEvents() < 2 {
+		select {
+		case <-deadline:
+			t.Fatalf("dropped = %d, want >= 2", m.DroppedEvents())
+		case <-time.After(time.Millisecond):
+		}
+	}
+	close(release)
+	for {
+		mu.Lock()
+		n := handled
+		mu.Unlock()
+		if n >= 3 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("handled = %d, want 3", n)
+		case <-time.After(time.Millisecond):
+		}
+	}
+	if d := m.QueueDepth(); d != 0 {
+		t.Errorf("queue depth after drain: %d", d)
+	}
+}
+
+// TestOnEventAsyncStopDetaches: after stop, further events bypass the
+// subscription entirely.
+func TestOnEventAsyncStopDetaches(t *testing.T) {
+	rt, _ := newHostEnv(t)
+	m := New(rt)
+	var mu sync.Mutex
+	n := 0
+	stop := m.OnEventAsync(4, func(proto.NotifyArgs) {
+		mu.Lock()
+		n++
+		mu.Unlock()
+	})
+	m.deliver(proto.NotifyArgs{Trigger: "t"})
+	stop()
+	before := func() int { mu.Lock(); defer mu.Unlock(); return n }()
+	m.deliver(proto.NotifyArgs{Trigger: "t"})
+	time.Sleep(10 * time.Millisecond)
+	if after := func() int { mu.Lock(); defer mu.Unlock(); return n }(); after != before {
+		t.Errorf("handler ran after stop: %d -> %d", before, after)
+	}
+	stop() // idempotent
 }

@@ -176,8 +176,13 @@ type CompatibleVaultsReply struct {
 }
 
 // VaultOKArgs asks whether a specific vault is usable with the Host.
+// Sent to a Vault, it asks the vault to verify its own identity (and,
+// when Zone is non-empty, compatibility with a host in that zone).
 type VaultOKArgs struct {
 	Vault loid.LOID
+	// Zone, when non-empty, additionally asks for zone compatibility
+	// (paper §3.1: vaults "verify that they are compatible with a Host").
+	Zone string
 }
 
 // BoolReply is a generic boolean result.

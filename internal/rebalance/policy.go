@@ -1,0 +1,168 @@
+package rebalance
+
+import (
+	"context"
+	"sort"
+
+	"legion/internal/classobj"
+	"legion/internal/core"
+	"legion/internal/loid"
+	"legion/internal/proto"
+	"legion/internal/scheduler"
+)
+
+// LeastLoaded is the default rebalancing policy: when a host's overload
+// trigger fires, shed up to MaxShedPerEvent of its managed instances to
+// the least-loaded compatible hosts.
+//
+// Destination selection goes through the Collection (the same directory
+// the Scheduler uses), filtering records that are flagged down or
+// advertise no compatible vault, and ranks the survivors:
+//
+//  1. hosts that can reach the instance's current vault (the migration
+//     stays single-vault — no OPR copy at all);
+//  2. hosts in the same zone as the instance's current vault (a
+//     cross-vault move that stays inside the zone);
+//  3. everything else;
+//
+// ties broken by ascending advertised load. If the Collection yields no
+// usable candidate (e.g. no daemon is pushing load updates), the policy
+// falls back to direct host introspection via the metasystem.
+type LeastLoaded struct {
+	// MaxShedPerEvent bounds how many instances one trigger event may
+	// move off the source host (default 1).
+	MaxShedPerEvent int
+	// Query selects candidate destination records (default
+	// "defined($host_load)").
+	Query string
+}
+
+// NewLeastLoaded returns the default policy.
+func NewLeastLoaded() *LeastLoaded {
+	return &LeastLoaded{MaxShedPerEvent: 1, Query: "defined($host_load)"}
+}
+
+// Plan implements Policy.
+func (p *LeastLoaded) Plan(ctx context.Context, ev proto.NotifyArgs, ms *core.Metasystem, classes []*classobj.Class) ([]Move, error) {
+	shed := p.MaxShedPerEvent
+	if shed <= 0 {
+		shed = 1
+	}
+
+	// Victims: managed instances the class records place on the source.
+	type victim struct {
+		class *classobj.Class
+		inst  loid.LOID
+		vault loid.LOID
+	}
+	var victims []victim
+	for _, c := range classes {
+		for _, inst := range c.Instances() {
+			h, v, err := c.WhereIs(inst)
+			if err != nil || h != ev.Source {
+				continue
+			}
+			victims = append(victims, victim{class: c, inst: inst, vault: v})
+			if len(victims) >= shed {
+				break
+			}
+		}
+		if len(victims) >= shed {
+			break
+		}
+	}
+	if len(victims) == 0 {
+		return nil, nil
+	}
+
+	cands, err := p.candidates(ctx, ev.Source, ms)
+	if err != nil || len(cands) == 0 {
+		return nil, err
+	}
+
+	zoneOf := func(vaultL loid.LOID) string {
+		if v := ms.VaultByLOID(vaultL); v != nil {
+			return v.Zone()
+		}
+		return ""
+	}
+
+	var moves []Move
+	for i, vic := range victims {
+		ranked := rankCandidates(cands, vic.vault, zoneOf(vic.vault))
+		if len(ranked) == 0 {
+			continue
+		}
+		// Spread multiple sheds across destinations instead of piling
+		// them all onto the single coolest host.
+		dest := ranked[i%len(ranked)]
+		toVault := dest.Vaults[0]
+		for _, dv := range dest.Vaults {
+			if dv == vic.vault {
+				toVault = dv // keep the vault: no OPR copy needed
+				break
+			}
+		}
+		moves = append(moves, Move{Class: vic.class, Instance: vic.inst, ToHost: dest.LOID, ToVault: toVault})
+	}
+	return moves, nil
+}
+
+// candidates returns usable destination host records, Collection-first
+// with a metasystem-introspection fallback.
+func (p *LeastLoaded) candidates(ctx context.Context, source loid.LOID, ms *core.Metasystem) ([]scheduler.HostInfo, error) {
+	q := p.Query
+	if q == "" {
+		q = "defined($host_load)"
+	}
+	infos, _, err := scheduler.QueryHostsPartial(ctx, ms.Env(), q)
+	var out []scheduler.HostInfo
+	if err == nil {
+		for _, hi := range infos {
+			if hi.LOID == source || hi.Down || len(hi.Vaults) == 0 {
+				continue
+			}
+			out = append(out, hi)
+		}
+	}
+	if len(out) == 0 {
+		// Collection empty or stale — fall back to live host state.
+		for _, h := range ms.Hosts() {
+			if h.LOID() == source || len(h.CompatibleVaults()) == 0 {
+				continue
+			}
+			out = append(out, scheduler.HostInfo{
+				LOID:   h.LOID(),
+				Load:   h.Load(),
+				Zone:   h.Zone(),
+				Vaults: h.CompatibleVaults(),
+			})
+		}
+	}
+	return out, nil
+}
+
+// rankCandidates orders destinations: current-vault-reachable first,
+// then same-zone, then the rest; each tier sorted by ascending load.
+func rankCandidates(cands []scheduler.HostInfo, curVault loid.LOID, vaultZone string) []scheduler.HostInfo {
+	tier := func(hi scheduler.HostInfo) int {
+		for _, v := range hi.Vaults {
+			if v == curVault {
+				return 0
+			}
+		}
+		if vaultZone != "" && hi.Zone == vaultZone {
+			return 1
+		}
+		return 2
+	}
+	out := append([]scheduler.HostInfo(nil), cands...)
+	sort.SliceStable(out, func(i, j int) bool {
+		ti, tj := tier(out[i]), tier(out[j])
+		if ti != tj {
+			return ti < tj
+		}
+		return out[i].Load < out[j].Load
+	})
+	return out
+}

@@ -54,6 +54,13 @@ type trigger struct {
 	armed bool // fire only on false->true transition
 }
 
+// outcall is one registered handler, optionally carrying an identity key
+// so re-registration replaces instead of duplicating.
+type outcall struct {
+	key string // "" = anonymous, never deduplicated
+	fn  Outcall
+}
+
 // TriggerSet manages the triggers and registered outcalls of one object.
 // It is safe for concurrent use.
 type TriggerSet struct {
@@ -61,7 +68,7 @@ type TriggerSet struct {
 
 	mu       sync.Mutex
 	triggers map[string]*trigger
-	outcalls map[string][]Outcall // trigger name ("" = all) -> handlers
+	outcalls map[string][]outcall // trigger name ("" = all) -> handlers
 	fired    map[string]int       // per-trigger fire counts, for tests/metrics
 	now      func() time.Time
 }
@@ -71,7 +78,7 @@ func NewTriggerSet(owner loid.LOID) *TriggerSet {
 	return &TriggerSet{
 		owner:    owner,
 		triggers: make(map[string]*trigger),
-		outcalls: make(map[string][]Outcall),
+		outcalls: make(map[string][]outcall),
 		fired:    make(map[string]int),
 		now:      time.Now,
 	}
@@ -123,11 +130,42 @@ func (ts *TriggerSet) Triggers() []string {
 
 // RegisterOutcall registers a handler for the named trigger. The empty
 // name registers for every trigger. This is the call the paper's Monitor
-// makes on Host objects (§3.5).
+// makes on Host objects (§3.5). Anonymous registrations always append;
+// callers that may re-register (a Monitor reconnecting after a network
+// blip) should use RegisterOutcallKeyed so one event never fans out N
+// times to the same subscriber.
 func (ts *TriggerSet) RegisterOutcall(triggerName string, oc Outcall) {
 	ts.mu.Lock()
 	defer ts.mu.Unlock()
-	ts.outcalls[triggerName] = append(ts.outcalls[triggerName], oc)
+	ts.outcalls[triggerName] = append(ts.outcalls[triggerName], outcall{fn: oc})
+}
+
+// RegisterOutcallKeyed registers a handler for the named trigger under an
+// identity key (typically the subscriber's LOID). A later registration
+// with the same (trigger, key) replaces the earlier handler instead of
+// appending a duplicate, making repeated Watch calls idempotent.
+func (ts *TriggerSet) RegisterOutcallKeyed(triggerName, key string, oc Outcall) {
+	if key == "" {
+		ts.RegisterOutcall(triggerName, oc)
+		return
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	for i, existing := range ts.outcalls[triggerName] {
+		if existing.key == key {
+			ts.outcalls[triggerName][i] = outcall{key: key, fn: oc}
+			return
+		}
+	}
+	ts.outcalls[triggerName] = append(ts.outcalls[triggerName], outcall{key: key, fn: oc})
+}
+
+// OutcallCount returns how many handlers are registered for the named
+// trigger (tests assert Watch idempotency through this).
+func (ts *TriggerSet) OutcallCount(triggerName string) int {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return len(ts.outcalls[triggerName])
 }
 
 // FireCount returns how many times the named trigger has fired.
@@ -176,7 +214,13 @@ func (ts *TriggerSet) Evaluate(rec query.Record) []Event {
 		}
 		ev := Event{Source: ts.owner, Trigger: tr.name, Attrs: snapshot, Time: ts.now()}
 		ts.fired[tr.name]++
-		ocs := append(append([]Outcall(nil), ts.outcalls[tr.name]...), ts.outcalls[""]...)
+		var ocs []Outcall
+		for _, oc := range ts.outcalls[tr.name] {
+			ocs = append(ocs, oc.fn)
+		}
+		for _, oc := range ts.outcalls[""] {
+			ocs = append(ocs, oc.fn)
+		}
 		firings = append(firings, firing{ev: ev, ocs: ocs})
 	}
 	ts.mu.Unlock()

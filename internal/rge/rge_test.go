@@ -202,3 +202,44 @@ func TestOutcallCanReenterTriggerSet(t *testing.T) {
 		t.Error("trigger not removed by reentrant outcall")
 	}
 }
+
+// TestRegisterOutcallKeyedDedupes: re-registering under the same
+// (trigger, key) replaces the handler instead of stacking a duplicate —
+// the Host-side half of Watch idempotency. Distinct keys and anonymous
+// registrations still append.
+func TestRegisterOutcallKeyedDedupes(t *testing.T) {
+	ts := NewTriggerSet(owner)
+	if err := ts.Define("overload", `$host_load > 0.8`); err != nil {
+		t.Fatal(err)
+	}
+	firstCalls, secondCalls := 0, 0
+	ts.RegisterOutcallKeyed("overload", "monitor-1", func(Event) { firstCalls++ })
+	ts.RegisterOutcallKeyed("overload", "monitor-1", func(Event) { secondCalls++ })
+	if n := ts.OutcallCount("overload"); n != 1 {
+		t.Fatalf("outcalls after re-registration: %d, want 1", n)
+	}
+
+	attrs := attr.NewSet(attr.Pair{Name: "host_load", Value: attr.Float(0.9)})
+	ts.Evaluate(attrs)
+	if firstCalls != 0 || secondCalls != 1 {
+		t.Errorf("replaced handler calls: first=%d second=%d, want 0/1", firstCalls, secondCalls)
+	}
+
+	// A different key is a distinct subscriber.
+	ts.RegisterOutcallKeyed("overload", "monitor-2", func(Event) {})
+	if n := ts.OutcallCount("overload"); n != 2 {
+		t.Errorf("outcalls with two keys: %d, want 2", n)
+	}
+	// Anonymous registrations always append, even repeated.
+	ts.RegisterOutcall("overload", func(Event) {})
+	ts.RegisterOutcall("overload", func(Event) {})
+	if n := ts.OutcallCount("overload"); n != 4 {
+		t.Errorf("outcalls with anonymous appends: %d, want 4", n)
+	}
+	// An empty key degrades to anonymous append.
+	ts.RegisterOutcallKeyed("overload", "", func(Event) {})
+	ts.RegisterOutcallKeyed("overload", "", func(Event) {})
+	if n := ts.OutcallCount("overload"); n != 6 {
+		t.Errorf("outcalls with empty keys: %d, want 6", n)
+	}
+}

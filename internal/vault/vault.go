@@ -165,6 +165,19 @@ func (v *Vault) Count() int {
 	return len(v.oprs)
 }
 
+// Objects returns the LOIDs of all objects with a stored OPR — the
+// enumeration the migration conservation audit walks to find orphaned
+// copies left behind by failed cross-vault moves.
+func (v *Vault) Objects() []loid.LOID {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	out := make([]loid.LOID, 0, len(v.oprs))
+	for l := range v.oprs {
+		out = append(out, l)
+	}
+	return out
+}
+
 // Attributes returns a snapshot of the vault's attribute database.
 func (v *Vault) Attributes() []attr.Pair { return v.attrs.Snapshot() }
 
@@ -203,7 +216,6 @@ func (v *Vault) installMethods() {
 	})
 	v.Handle(proto.MethodVaultOK, func(_ context.Context, arg any) (any, error) {
 		a, ok := arg.(proto.VaultOKArgs)
-		_ = a
 		if !ok {
 			// Zone-based compatibility probe: argument may be a zone
 			// string for host-side checks.
@@ -211,6 +223,17 @@ func (v *Vault) installMethods() {
 				return proto.BoolReply{OK: v.CompatibleWithZone(zone)}, nil
 			}
 			return nil, fmt.Errorf("vault: want VaultOKArgs or zone string, got %T", arg)
+		}
+		// The vault vouches only for itself: a probe naming some other
+		// vault (misrouted call, stale LOID) must not be confirmed, and
+		// when the caller supplies a host zone the vault also verifies
+		// reachability (§3.1: vaults "verify that they are compatible
+		// with a Host").
+		if !a.Vault.IsNil() && a.Vault != v.LOID() {
+			return proto.BoolReply{OK: false}, nil
+		}
+		if a.Zone != "" && !v.CompatibleWithZone(a.Zone) {
+			return proto.BoolReply{OK: false}, nil
 		}
 		return proto.BoolReply{OK: true}, nil
 	})

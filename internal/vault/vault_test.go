@@ -222,3 +222,42 @@ func TestOrbProtocolOverTCP(t *testing.T) {
 		t.Errorf("retrieved %q, %v", s, err)
 	}
 }
+
+// TestVaultOKVerifiesIdentityAndZone is the ISSUE 5 regression: the
+// vault_OK handler used to answer OK for ANY well-formed VaultOKArgs —
+// a probe naming a different vault (misrouted call, stale LOID) was
+// confirmed anyway. The vault must vouch only for itself, and when the
+// probe carries a host zone it must also verify zone compatibility.
+func TestVaultOKVerifiesIdentityAndZone(t *testing.T) {
+	rt := newRT()
+	v := New(rt, Config{Zone: "z1"})
+	other := New(rt, Config{Zone: "z1"}) // a different vault LOID
+	ctx := context.Background()
+
+	// Naming this vault: OK.
+	res, err := rt.Call(ctx, v.LOID(), proto.MethodVaultOK, proto.VaultOKArgs{Vault: v.LOID()})
+	if err != nil || !res.(proto.BoolReply).OK {
+		t.Errorf("self probe: %v %v", res, err)
+	}
+	// Naming a DIFFERENT vault: must be refused.
+	res, err = rt.Call(ctx, v.LOID(), proto.MethodVaultOK, proto.VaultOKArgs{Vault: other.LOID()})
+	if err != nil || res.(proto.BoolReply).OK {
+		t.Errorf("probe naming another vault confirmed: %v %v", res, err)
+	}
+	// Identity plus compatible zone: OK.
+	res, err = rt.Call(ctx, v.LOID(), proto.MethodVaultOK, proto.VaultOKArgs{Vault: v.LOID(), Zone: "z1"})
+	if err != nil || !res.(proto.BoolReply).OK {
+		t.Errorf("self probe with zone: %v %v", res, err)
+	}
+	// Identity but incompatible zone: refused.
+	res, err = rt.Call(ctx, v.LOID(), proto.MethodVaultOK, proto.VaultOKArgs{Vault: v.LOID(), Zone: "z9"})
+	if err != nil || res.(proto.BoolReply).OK {
+		t.Errorf("incompatible zone confirmed: %v %v", res, err)
+	}
+	// Wildcard-zone vaults accept any zone.
+	w := New(rt, Config{Zone: "*"})
+	res, err = rt.Call(ctx, w.LOID(), proto.MethodVaultOK, proto.VaultOKArgs{Vault: w.LOID(), Zone: "z9"})
+	if err != nil || !res.(proto.BoolReply).OK {
+		t.Errorf("wildcard vault refused zone: %v %v", res, err)
+	}
+}
