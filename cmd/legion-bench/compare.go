@@ -1,0 +1,161 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"legion/internal/experiments"
+)
+
+// drift is one comparable cell that moved between the baseline file and
+// the current run.
+type drift struct {
+	table, row, col    string
+	baseline, current  float64
+	rel                float64
+	baseRaw, currorRaw string
+}
+
+// numericCell parses a table cell into a comparable float: plain
+// numbers, percentages ("85%"), speedups ("3.2x"), and durations
+// ("1.2ms"). The bool is false for text cells, which are skipped.
+func numericCell(s string) (float64, bool) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, false
+	}
+	if d, err := time.ParseDuration(strings.ReplaceAll(s, "µ", "u")); err == nil && strings.IndexFunc(s, func(r rune) bool {
+		return r < '0' || r > '9'
+	}) >= 0 {
+		return d.Seconds(), true
+	}
+	trimmed := strings.TrimSuffix(strings.TrimSuffix(s, "%"), "x")
+	v, err := strconv.ParseFloat(trimmed, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// compareTables diffs the current tables against the baseline file,
+// matching cells by (table ID, first-column value, column header).
+// It returns the drifting cells sorted as encountered; cells present on
+// only one side (new experiments, renamed rows) are skipped — the
+// comparison guards regressions in shared coverage, not catalogue
+// growth.
+func compareTables(baselinePath string, current []*experiments.Table) ([]drift, error) {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	var baseline []*experiments.Table
+	if err := json.Unmarshal(raw, &baseline); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", baselinePath, err)
+	}
+	baseByID := make(map[string]*experiments.Table, len(baseline))
+	for _, t := range baseline {
+		baseByID[t.ID] = t
+	}
+
+	var out []drift
+	for _, cur := range current {
+		base, ok := baseByID[cur.ID]
+		if !ok {
+			continue
+		}
+		baseCol := make(map[string]int, len(base.Header))
+		for i, h := range base.Header {
+			baseCol[h] = i
+		}
+		baseRow := make(map[string][]string, len(base.Rows))
+		for _, r := range base.Rows {
+			if len(r) > 0 {
+				baseRow[r[0]] = r
+			}
+		}
+		for _, row := range cur.Rows {
+			if len(row) == 0 {
+				continue
+			}
+			brow, ok := baseRow[row[0]]
+			if !ok {
+				continue
+			}
+			for ci := 1; ci < len(row) && ci < len(cur.Header); ci++ {
+				bi, ok := baseCol[cur.Header[ci]]
+				if !ok || bi >= len(brow) {
+					continue
+				}
+				curV, okc := numericCell(row[ci])
+				baseV, okb := numericCell(brow[bi])
+				if !okc || !okb {
+					continue
+				}
+				denom := math.Max(math.Abs(baseV), 1e-9)
+				rel := math.Abs(curV-baseV) / denom
+				out = append(out, drift{
+					table: cur.ID, row: row[0], col: cur.Header[ci],
+					baseline: baseV, current: curV, rel: rel,
+					baseRaw: brow[bi], currorRaw: row[ci],
+				})
+			}
+		}
+	}
+	return out, nil
+}
+
+// runCompare prints the comparison report and returns the process exit
+// code: nonzero only when LEGION_BENCH_DRIFT_MAX is set (a fraction,
+// e.g. 0.5 = 50%) and some cell drifted beyond it. Unset, the report is
+// informational — CI publishes it without gating, because most
+// experiment numbers are timing-derived and CI machines vary.
+func runCompare(baselinePath string, current []*experiments.Table) int {
+	drifts, err := compareTables(baselinePath, current)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "compare: %v\n", err)
+		return 1
+	}
+	var maxRel float64
+	worst := -1
+	for i, d := range drifts {
+		if d.rel > maxRel {
+			maxRel = d.rel
+			worst = i
+		}
+	}
+	fmt.Printf("## bench compare vs %s\n", baselinePath)
+	fmt.Printf("compared %d cells\n", len(drifts))
+	for _, d := range drifts {
+		if d.rel >= 0.10 { // only report visible movement
+			fmt.Printf("  %-4s %-40s %-24s %s -> %s (%+.0f%%)\n",
+				d.table, d.row, d.col, d.baseRaw, d.currorRaw, 100*(d.current-d.baseline)/math.Max(math.Abs(d.baseline), 1e-9))
+		}
+	}
+	if worst >= 0 {
+		d := drifts[worst]
+		fmt.Printf("max drift: %.0f%% (%s / %s / %s)\n", 100*maxRel, d.table, d.row, d.col)
+	}
+
+	thresh := os.Getenv("LEGION_BENCH_DRIFT_MAX")
+	if thresh == "" {
+		fmt.Println("LEGION_BENCH_DRIFT_MAX unset: report only")
+		return 0
+	}
+	limit, err := strconv.ParseFloat(thresh, 64)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "compare: bad LEGION_BENCH_DRIFT_MAX %q: %v\n", thresh, err)
+		return 1
+	}
+	if maxRel > limit {
+		fmt.Fprintf(os.Stderr, "compare: max drift %.0f%% exceeds LEGION_BENCH_DRIFT_MAX %.0f%%\n",
+			100*maxRel, 100*limit)
+		return 2
+	}
+	fmt.Printf("max drift within LEGION_BENCH_DRIFT_MAX (%.0f%%)\n", 100*limit)
+	return 0
+}

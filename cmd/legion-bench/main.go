@@ -96,6 +96,9 @@ func catalogue() []experiment {
 		{"E10", "Rebalancing at scale under migration-path faults", func() *experiments.Table {
 			return experiments.E10RebalanceChaosScale(12, 36, 60, 0.25)
 		}},
+		{"E11", "Overload storms: admission control vs uncontrolled", func() *experiments.Table {
+			return experiments.E11OverloadAdmission(nil, 0)
+		}},
 		{"A1", "Ablation: variants vs regenerate", func() *experiments.Table {
 			return experiments.A1VariantVsRegenerate(30, 3)
 		}},
@@ -118,6 +121,7 @@ func main() {
 		faultrate = flag.Float64("faultrate", -1, "inject this fraction of transport faults in E7 (0..1; default: sweep 0%, 5%, 20%)")
 		metrics   = flag.Bool("metrics", false, "after running, dump the accumulated telemetry registry as text")
 		asJSON    = flag.Bool("json", false, "emit the result tables as a JSON array instead of text")
+		compare   = flag.String("compare", "", "diff this run's tables against a baseline -json file; exits nonzero past LEGION_BENCH_DRIFT_MAX (fraction, unset = report only)")
 	)
 	flag.Parse()
 	if *faultrate >= 0 {
@@ -168,5 +172,10 @@ func main() {
 		fmt.Println("```")
 		telemetry.Default.WriteText(os.Stdout)
 		fmt.Println("```")
+	}
+	if *compare != "" {
+		if code := runCompare(*compare, tables); code != 0 {
+			os.Exit(code)
+		}
 	}
 }

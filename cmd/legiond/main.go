@@ -45,6 +45,12 @@ func main() {
 		seed     = flag.Int64("seed", 1, "scheduling RNG seed")
 		metrics  = flag.String("metrics-addr", "", "HTTP address for the /metrics and /spans endpoints (empty disables)")
 
+		maxInFlight  = flag.Int("max-inflight", 0, "Enactor admission control: concurrent placements admitted (0 disables)")
+		admissionQ   = flag.Int("admission-queue", 0, "Enactor admission wait-queue depth (0 = 4×max-inflight)")
+		shedWater    = flag.Float64("shed-watermark", 0, "host occupancy fraction above which low-priority reservations are shed (0 disables)")
+		shedMinPrio  = flag.Int("shed-min-priority", 1, "lowest priority that still rides through above the watermark")
+		reapInterval = flag.Duration("reap-interval", 30*time.Second, "host reservation reaper interval (0 disables the reaper)")
+
 		rebalanceOn   = flag.Bool("rebalance", false, "run the rebalance subsystem: overload triggers migrate objects off hot hosts")
 		rebalanceTh   = flag.Float64("rebalance-threshold", 0.8, "host load above which the overload trigger fires")
 		rebalanceCool = flag.Duration("rebalance-cooldown", 10*time.Second, "per-host hysteresis window between sheds")
@@ -65,18 +71,40 @@ func main() {
 		}()
 	}
 
-	ms := core.New(*domain, core.Options{Seed: *seed})
+	ms := core.New(*domain, core.Options{
+		Seed:            *seed,
+		MaxInFlight:     *maxInFlight,
+		AdmissionQueue:  *admissionQ,
+		ShedWatermark:   *shedWater,
+		ShedMinPriority: *shedMinPrio,
+	})
 	defer ms.Close()
+
+	// startHost wires the periodic loops every host needs: state
+	// reassessment pushes into the Collection, and the reservation
+	// reaper reclaims unconfirmed grants whose clients died between
+	// make_reservation and confirmation (without it those slots free
+	// only lazily, at the next reservation request).
+	var stops []func()
+	defer func() {
+		for _, stop := range stops {
+			stop()
+		}
+	}()
+	startHost := func(h *host.Host) {
+		stops = append(stops, h.StartReassessing(*reassess))
+		if *reapInterval > 0 {
+			stops = append(stops, h.StartReaper(*reapInterval))
+		}
+	}
 
 	v := ms.AddVault(vault.Config{Zone: *domain})
 	for i := 0; i < *nHosts; i++ {
-		h := ms.AddHost(host.Config{
+		startHost(ms.AddHost(host.Config{
 			Arch: *arch, OS: *osName, OSVersion: "2.2",
 			CPUs: *cpus, MemoryMB: *memMB, Zone: *domain,
 			Vaults: []loid.LOID{v.LOID()},
-		})
-		stop := h.StartReassessing(*reassess)
-		defer stop()
+		}))
 	}
 	for i := 0; i < *nBatch; i++ {
 		q := batchq.New(batchq.Config{
@@ -84,14 +112,12 @@ func main() {
 			DispatchDelay: 50 * time.Millisecond,
 		})
 		defer q.Close()
-		h := ms.AddHost(host.Config{
+		startHost(ms.AddHost(host.Config{
 			Arch: *arch, OS: *osName, OSVersion: "2.2",
 			CPUs: *cpus, MemoryMB: *memMB, Zone: *domain,
 			Vaults: []loid.LOID{v.LOID()},
 			Queue:  q,
-		})
-		stop := h.StartReassessing(*reassess)
-		defer stop()
+		}))
 	}
 
 	// A default user class so clients can place objects immediately.
@@ -124,7 +150,11 @@ func main() {
 	log.Printf("legiond: domain %q serving on %s", *domain, bound)
 	log.Printf("legiond: %d unix + %d batch hosts, %d vault(s), class %q defined",
 		*nHosts, *nBatch, 1, "Worker")
-	log.Printf("legiond: collection=%v enactor=%v", ms.Collection.LOID(), ms.Enactor.LOID())
+	log.Printf("legiond: collection=%v enactor=%v", ms.CollectionLOID(), ms.Enactor.LOID())
+	if *maxInFlight > 0 || *shedWater > 0 {
+		log.Printf("legiond: admission max-inflight=%d queue=%d, shed watermark=%.2f min-priority=%d, reap every %v",
+			*maxInFlight, *admissionQ, *shedWater, *shedMinPrio, *reapInterval)
+	}
 
 	// Periodic status line.
 	go func() {
@@ -135,9 +165,13 @@ func main() {
 			for _, h := range ms.Hosts() {
 				total += h.RunningCount()
 			}
-			q, u := ms.Collection.Stats()
-			log.Printf("legiond: %d objects running, collection %d queries / %d updates",
-				total, q, u)
+			if ms.Collection != nil {
+				q, u := ms.Collection.Stats()
+				log.Printf("legiond: %d objects running, collection %d queries / %d updates",
+					total, q, u)
+			} else {
+				log.Printf("legiond: %d objects running", total)
+			}
 		}
 	}()
 

@@ -328,6 +328,25 @@ func (q *Queue) Cancel(id JobID) error {
 	return nil
 }
 
+// Forget drops a terminal (done or cancelled) job's record, so callers
+// that submit an unbounded stream of jobs (e.g. an admission controller
+// reusing the queue's priority ordering) do not grow the job map without
+// limit. Forgetting a queued or running job is an error — it still owns
+// heap or slot state.
+func (q *Queue) Forget(id JobID) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.jobs[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownJob, id)
+	}
+	if j.state != StateDone && j.state != StateCancelled {
+		return fmt.Errorf("batchq: forget job %d in state %v", id, j.state)
+	}
+	delete(q.jobs, id)
+	return nil
+}
+
 // State returns a job's lifecycle state.
 func (q *Queue) State(id JobID) (State, error) {
 	q.mu.Lock()

@@ -301,3 +301,24 @@ func (w *World) TotalRunning(s *Site) int {
 	}
 	return n
 }
+
+// Quiesce polls site s until no reservations or instances remain, or
+// timeout passes, and returns the final counts. Conservation checks
+// need this because cleanup is asynchronous by design: an Enactor
+// rollback runs on a server-side goroutine that may still be in flight
+// when the last client-side request returns, so an instantaneous count
+// taken at drain can observe tokens that are already being released.
+func (w *World) Quiesce(s *Site, timeout time.Duration) (reservations, running int) {
+	deadline := time.Now().Add(timeout)
+	for {
+		reservations = w.OrphanedReservations(s)
+		running = w.TotalRunning(s)
+		if reservations == 0 && running == 0 {
+			return 0, 0
+		}
+		if time.Now().After(deadline) {
+			return reservations, running
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

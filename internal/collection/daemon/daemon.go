@@ -101,7 +101,13 @@ type Daemon struct {
 	stopped     bool
 	sweeps      int64
 	errors      int64
+	sheds       int64 // batch entries dropped by the overflow cap
 	pushCalls   int64 // ORB calls spent pushing into Collections
+
+	// shedCounter mirrors sheds into the runtime's registry
+	// (legion_daemon_update_sheds_total) so overflow drops are visible
+	// on /metrics, distinct from transport errors.
+	shedCounter *telemetry.Counter
 }
 
 // collBatch buffers pending entries for one Collection. mu guards
@@ -151,14 +157,15 @@ func New(rt *orb.Runtime, cfg Config) *Daemon {
 		cfg.BatchSize = 256
 	}
 	return &Daemon{
-		rt:      rt,
-		cfg:     cfg,
-		call:    call,
-		live:    cfg.Liveness,
-		joined:  make(map[loid.LOID]bool),
-		flagged: make(map[loid.LOID]bool),
-		batches: make(map[loid.LOID]*collBatch),
-		stop:    make(chan struct{}),
+		rt:          rt,
+		cfg:         cfg,
+		call:        call,
+		live:        cfg.Liveness,
+		joined:      make(map[loid.LOID]bool),
+		flagged:     make(map[loid.LOID]bool),
+		batches:     make(map[loid.LOID]*collBatch),
+		stop:        make(chan struct{}),
+		shedCounter: rt.Metrics().Counter("legion_daemon_update_sheds_total"),
 	}
 }
 
@@ -183,11 +190,15 @@ func (d *Daemon) enqueue(ctx context.Context, coll loid.LOID, e proto.BatchEntry
 	cb.pending = append(cb.pending, e)
 	// Bound memory while coll is unreachable: shed the oldest entries
 	// (their members' later entries, still queued, carry newer state).
+	// Sheds are counted apart from transport errors — a rising shed
+	// count means updates are being lost to backpressure, not that the
+	// Collection is failing calls.
 	if max := 16 * d.cfg.BatchSize; len(cb.pending) > max {
 		over := len(cb.pending) - max
 		cb.pending = append(cb.pending[:0:0], cb.pending[over:]...)
+		d.shedCounter.Add(int64(over))
 		d.mu.Lock()
-		d.errors += int64(over)
+		d.sheds += int64(over)
 		d.mu.Unlock()
 	}
 	full := len(cb.pending) >= d.cfg.BatchSize
@@ -489,6 +500,14 @@ func (d *Daemon) Stats() (sweeps, errors int64) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.sweeps, d.errors
+}
+
+// Sheds reports how many buffered batch entries were dropped by the
+// overflow cap while a Collection was unreachable.
+func (d *Daemon) Sheds() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.sheds
 }
 
 // PushCalls reports how many ORB calls the daemon has spent pushing

@@ -1,0 +1,74 @@
+package daemon
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"legion/internal/loid"
+	"legion/internal/orb"
+	"legion/internal/proto"
+	"legion/internal/resilient"
+	"legion/internal/telemetry"
+)
+
+// TestBatchOverflowShedsAreCounted overflows a Collection buffer while
+// the Collection is unreachable and verifies the dropped entries are
+// counted as sheds — on the Sheds() accessor and the
+// legion_daemon_update_sheds_total counter — separately from transport
+// errors, and that the buffer stays capped at 16×BatchSize.
+func TestBatchOverflowShedsAreCounted(t *testing.T) {
+	rt := orb.NewRuntime("uva")
+	// Private registry so the counter assertion survives -count=N reruns.
+	reg := telemetry.NewRegistry()
+	rt.SetMetrics(reg)
+
+	const batchSize = 2 // cap = 16×2 = 32 buffered entries
+	d := New(rt, Config{
+		Interval: time.Hour, Credential: "cred",
+		Retry:         resilient.Policy{MaxAttempts: 1},
+		BatchInterval: time.Hour,
+		BatchSize:     batchSize,
+	})
+	// Never bound: every size-triggered flush fails and re-queues.
+	deadColl := loid.LOID{Domain: "uva", Class: "Coll", Instance: 404}
+
+	const total = 40
+	for i := 0; i < total; i++ {
+		d.enqueue(context.Background(), deadColl, proto.BatchEntry{
+			Member: loid.LOID{Domain: "uva", Class: "M", Instance: uint64(i + 1)},
+		})
+	}
+
+	cap := 16 * batchSize
+	wantShed := int64(total - cap)
+	if got := d.Sheds(); got != wantShed {
+		t.Errorf("Sheds() = %d, want %d", got, wantShed)
+	}
+	if got := reg.CounterValue("legion_daemon_update_sheds_total"); got != wantShed {
+		t.Errorf("legion_daemon_update_sheds_total = %d, want %d", got, wantShed)
+	}
+
+	cb := d.batchFor(deadColl)
+	cb.mu.Lock()
+	pending := len(cb.pending)
+	oldest := cb.pending[0].Member.Instance
+	cb.mu.Unlock()
+	if pending != cap {
+		t.Errorf("pending = %d, want capped at %d", pending, cap)
+	}
+	// Oldest entries were the ones shed.
+	if want := uint64(total - cap + 1); oldest != want {
+		t.Errorf("oldest surviving entry = instance %d, want %d", oldest, want)
+	}
+
+	// Sheds are not conflated with flush errors: errors counts only the
+	// failed flush attempts.
+	_, errs := d.Stats()
+	if errs == 0 {
+		t.Error("failed flushes not counted as errors")
+	}
+	if errs >= wantShed+int64(total) {
+		t.Errorf("errors = %d, looks like sheds leaked into the error count", errs)
+	}
+}

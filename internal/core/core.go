@@ -86,6 +86,25 @@ type Options struct {
 	// DaemonBatchSize caps a daemon batch before an early flush; zero
 	// means the daemon default.
 	DaemonBatchSize int
+	// MaxInFlight bounds concurrently executing Enactor placements
+	// admitted at the wire boundary; requests beyond it wait in a
+	// priority queue and are shed with proto.ErrOverload when the queue
+	// is full or their deadline cannot be met. Zero disables admission
+	// control (every request dispatches immediately).
+	MaxInFlight int
+	// AdmissionQueue bounds the Enactor's admission wait queue; zero
+	// means 4×MaxInFlight.
+	AdmissionQueue int
+	// ShedWatermark, when > 0, installs a load-aware policy on every
+	// host added through AddHost: at or above this occupancy fraction
+	// (active reservations / MaxShared) the host refuses reservations
+	// below ShedMinPriority with proto.ErrOverload, keeping headroom
+	// for important work during overload.
+	ShedWatermark float64
+	// ShedMinPriority is the lowest priority that still rides through
+	// above the watermark; zero means 1 (so priority-0 best-effort
+	// requests are the ones shed).
+	ShedMinPriority int
 }
 
 // Metasystem is one administrative domain's assembled Legion RMI.
@@ -225,9 +244,11 @@ func New(domain string, opts Options) *Metasystem {
 		ms.Collection = collection.New(rt, opts.CollectionAuth)
 	}
 	ms.Enactor = enactor.New(rt, enactor.Config{
-		Retry:       opts.Retry,
-		Breakers:    ms.breakers,
-		Parallelism: opts.Parallelism,
+		Retry:          opts.Retry,
+		Breakers:       ms.breakers,
+		Parallelism:    opts.Parallelism,
+		MaxInFlight:    opts.MaxInFlight,
+		AdmissionQueue: opts.AdmissionQueue,
 	})
 	ms.Monitor = monitor.New(rt)
 	return ms
@@ -269,6 +290,16 @@ func (ms *Metasystem) AddVault(cfg vault.Config) *vault.Vault {
 // Collection with its current attributes, and wires its push updates.
 func (ms *Metasystem) AddHost(cfg host.Config) *host.Host {
 	h := host.New(ms.rt, cfg)
+	if ms.opts.ShedWatermark > 0 {
+		// Layer the load shed behind any autonomy policy the caller
+		// supplied: local refusals (the site's own rules) win, then the
+		// occupancy watermark sheds what is left.
+		minPrio := ms.opts.ShedMinPriority
+		if minPrio == 0 {
+			minPrio = 1
+		}
+		h.SetPolicy(host.ChainPolicies(cfg.Policy, h.LoadShedPolicy(ms.opts.ShedWatermark, minPrio)))
+	}
 	ms.HostClass.AdoptInstance(h.LOID(), loid.Nil, loid.Nil)
 	// Hosts push to (and join) the Router when sharded — it forwards to
 	// the owning shard, so the host never learns the partitioning.

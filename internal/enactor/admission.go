@@ -1,0 +1,223 @@
+package enactor
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"sync"
+	"time"
+
+	"legion/internal/batchq"
+	"legion/internal/orb"
+	"legion/internal/proto"
+	"legion/internal/telemetry"
+)
+
+// admission is the Enactor's overload gate: a bounded set of in-flight
+// negotiation calls plus a bounded priority wait-queue in front of them.
+// Requests that cannot be admitted are shed immediately with a typed
+// proto.ErrOverload refusal (never silently queued without bound), so
+// under sustained overload the Enactor does a bounded amount of work and
+// callers learn to back off — the anti-metastability posture.
+//
+// Shedding policy, in order:
+//
+//   - "expired": the caller's context is already done, or its deadline
+//     has passed — admitting it would only produce doomed work.
+//   - free slot: admitted immediately, regardless of fair-share (work
+//     conservation: an idle slot never waits on accounting).
+//   - "queue_full": the wait-queue is at capacity.
+//   - "fair_share": admitting would give the caller's domain more than
+//     its share of the wait-queue (queueDepth / (active domains + 1),
+//     min 1), so one chatty Scheduler cannot starve the others.
+//   - "deadline": the estimated queue wait (EWMA of recent service
+//     times scaled by queue position) exceeds the request's remaining
+//     deadline budget — the request would expire while waiting.
+//
+// Queued requests dispatch in priority order (higher sched.Priority
+// first, FCFS within a class) via batchq's priority heap.
+type admission struct {
+	q     *batchq.Queue // nil when admission control is disabled
+	slots int
+	depth int
+
+	mu        sync.Mutex
+	byDomain  map[string]int // queued waiters per requester domain
+	ewmaSvcNs float64        // EWMA of admitted-call service time
+
+	met admissionMetrics
+}
+
+// admissionMetrics caches the gate's telemetry handles.
+type admissionMetrics struct {
+	reg      *telemetry.Registry
+	inflight *telemetry.Gauge
+	queued   *telemetry.Gauge
+	admitted *telemetry.Counter
+	waitTime *telemetry.Histogram
+}
+
+// ewmaAlpha weights the newest service-time sample in the EWMA the
+// deadline-aware shed uses to estimate queue wait.
+const ewmaAlpha = 0.2
+
+// newAdmission builds the gate from the Enactor's config; it returns a
+// disabled gate (admit everything, track nothing) when MaxInFlight <= 0.
+func newAdmission(rt *orb.Runtime, cfg Config) *admission {
+	a := &admission{byDomain: make(map[string]int)}
+	reg := rt.Metrics()
+	a.met = admissionMetrics{
+		reg:      reg,
+		inflight: reg.Gauge("legion_admission_inflight"),
+		queued:   reg.Gauge("legion_admission_queue_depth"),
+		admitted: reg.Counter("legion_admission_admitted_total"),
+		waitTime: reg.Histogram("legion_admission_wait_seconds", telemetry.LatencyBuckets),
+	}
+	if cfg.MaxInFlight <= 0 {
+		return a
+	}
+	a.slots = cfg.MaxInFlight
+	a.depth = cfg.AdmissionQueue
+	if a.depth <= 0 {
+		a.depth = 4 * cfg.MaxInFlight
+	}
+	a.q = batchq.New(batchq.Config{
+		Name:   "enactor-admission",
+		Slots:  a.slots,
+		Policy: batchq.Priority,
+	})
+	return a
+}
+
+// enabled reports whether the gate actually gates.
+func (a *admission) enabled() bool { return a.q != nil }
+
+// shed records one refusal and returns the typed overload error.
+func (a *admission) shed(reason, method string, priority int) error {
+	a.met.reg.Counter("legion_admission_sheds_total", "reason", reason).Inc()
+	a.met.reg.Counter("legion_admission_sheds_by_priority_total",
+		"priority", strconv.Itoa(priority)).Inc()
+	return fmt.Errorf("%w: %s shed (%s)", proto.ErrOverload, method, reason)
+}
+
+// acquire admits or sheds one call. On admission it returns a release
+// function the caller must invoke when the call finishes; on a shed it
+// returns a proto.ErrOverload-wrapped error. method labels metrics;
+// domain and priority drive fair-share and queue ordering.
+func (a *admission) acquire(ctx context.Context, method, domain string, priority int) (func(), error) {
+	if !a.enabled() {
+		return func() {}, nil
+	}
+	// Doomed work is shed before it costs anything — this is also the
+	// backstop that keeps an already-expired context from ever reaching
+	// make_reservations for in-process callers the ORB's wire-level
+	// fast-fail cannot see.
+	if err := ctx.Err(); err != nil {
+		return nil, a.shed("expired", method, priority)
+	}
+	if dl, ok := ctx.Deadline(); ok && !dl.After(time.Now()) {
+		return nil, a.shed("expired", method, priority)
+	}
+
+	a.mu.Lock()
+	st := a.q.Stats()
+	mustQueue := st.Running >= a.slots
+	if mustQueue {
+		if st.Queued >= a.depth {
+			a.mu.Unlock()
+			return nil, a.shed("queue_full", method, priority)
+		}
+		// Fair share of the wait-queue: the caller's domain may hold at
+		// most depth/(activeDomains+1) queued slots (min 1) — the +1
+		// keeps headroom for a domain that has not arrived yet, so one
+		// chatty Scheduler can never pack the queue solid and leave a
+		// newcomer facing queue_full before fairness can arbitrate. A
+		// free execution slot admits regardless — fairness only
+		// arbitrates scarcity.
+		active := len(a.byDomain)
+		if a.byDomain[domain] == 0 {
+			active++ // this domain is about to become active
+		}
+		share := a.depth / (active + 1)
+		if share < 1 {
+			share = 1
+		}
+		if a.byDomain[domain] >= share {
+			a.mu.Unlock()
+			return nil, a.shed("fair_share", method, priority)
+		}
+		// Deadline-aware shed: refuse now if the expected wait alone
+		// would blow the caller's deadline. Expected wait ≈ EWMA service
+		// time × (queue position) / slots; position is pessimistically
+		// the whole current queue (priority may let us jump it, so this
+		// only sheds when even head-of-line service would be too slow
+		// relative to the crowd).
+		if dl, ok := ctx.Deadline(); ok && a.ewmaSvcNs > 0 {
+			estWait := time.Duration(a.ewmaSvcNs * float64(st.Queued+1) / float64(a.slots))
+			if estWait > time.Until(dl) {
+				a.mu.Unlock()
+				return nil, a.shed("deadline", method, priority)
+			}
+		}
+	}
+	a.byDomain[domain]++
+	// Buffered so a synchronous dispatch inside Submit never blocks.
+	started := make(chan struct{}, 1)
+	id, err := a.q.Submit(method, priority, func(batchq.JobID) { started <- struct{}{} })
+	a.mu.Unlock()
+	if err != nil {
+		a.exitQueue(domain)
+		return nil, a.shed("closed", method, priority)
+	}
+	a.met.queued.Set(int64(a.q.QueueLength()))
+
+	enqueued := time.Now()
+	select {
+	case <-started:
+	case <-ctx.Done():
+		// The caller gave up while queued (or mid-dispatch — Cancel
+		// handles both: a queued job is dropped, a just-started one has
+		// its slot freed). Either way nothing downstream ran.
+		_ = a.q.Cancel(id)
+		_ = a.q.Forget(id)
+		a.exitQueue(domain)
+		a.met.queued.Set(int64(a.q.QueueLength()))
+		return nil, a.shed("expired", method, priority)
+	}
+	a.exitQueue(domain)
+	a.met.admitted.Inc()
+	a.met.waitTime.ObserveSince(enqueued)
+	a.met.inflight.Set(int64(a.q.Stats().Running))
+	a.met.queued.Set(int64(a.q.QueueLength()))
+
+	startedAt := time.Now()
+	var once sync.Once
+	release := func() {
+		once.Do(func() {
+			_ = a.q.Complete(id)
+			_ = a.q.Forget(id)
+			a.mu.Lock()
+			sample := float64(time.Since(startedAt))
+			if a.ewmaSvcNs == 0 {
+				a.ewmaSvcNs = sample
+			} else {
+				a.ewmaSvcNs += ewmaAlpha * (sample - a.ewmaSvcNs)
+			}
+			a.mu.Unlock()
+			a.met.inflight.Set(int64(a.q.Stats().Running))
+			a.met.queued.Set(int64(a.q.QueueLength()))
+		})
+	}
+	return release, nil
+}
+
+// exitQueue drops one waiter from a domain's fair-share account.
+func (a *admission) exitQueue(domain string) {
+	a.mu.Lock()
+	if a.byDomain[domain] <= 1 {
+		delete(a.byDomain, domain)
+	} else {
+		a.byDomain[domain]--
+	}
+	a.mu.Unlock()
+}

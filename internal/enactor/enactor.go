@@ -93,6 +93,15 @@ type Config struct {
 	// cancellations) run concurrently within one request. Zero means 8;
 	// 1 reverts to the serial host-by-host walk (ablation baseline).
 	Parallelism int
+	// MaxInFlight bounds concurrently executing admission-gated calls
+	// (make_reservations and enact_schedule). Zero disables admission
+	// control entirely — every call is admitted, matching the
+	// pre-admission behaviour.
+	MaxInFlight int
+	// AdmissionQueue bounds the priority wait-queue in front of the
+	// in-flight slots; requests beyond it are shed with
+	// proto.ErrOverload. Zero means 4×MaxInFlight.
+	AdmissionQueue int
 }
 
 // heldRequest is the Enactor's retained state for one scheduling episode.
@@ -102,6 +111,8 @@ type heldRequest struct {
 	resolved []sched.Mapping
 	tokens   []reservation.Token
 	reserved time.Time // when the reservations were made (TTL sweep)
+	priority int       // admission class carried from make_reservations
+	domain   string    // requester domain, for fair-share accounting
 	enacted  [][]loid.LOID
 	done     bool
 	inflight bool              // an EnactSchedule is executing now
@@ -116,6 +127,8 @@ type Enactor struct {
 	cfg     Config
 	call    *resilient.Caller // resilient path for negotiation calls
 	cleanup *resilient.Caller // breaker-free path for rollback/cancel
+
+	adm *admission // overload gate for wire-facing calls
 
 	mu       sync.Mutex
 	cond     *sync.Cond // signals inflight enactments completing
@@ -195,6 +208,7 @@ func New(rt *orb.Runtime, cfg Config) *Enactor {
 		cfg:           cfg,
 		requests:      make(map[uint64]*heldRequest),
 		met:           newEnactorMetrics(rt),
+		adm:           newAdmission(rt, cfg),
 	}
 	e.cond = sync.NewCond(&e.mu)
 	switch {
@@ -263,6 +277,13 @@ func (e *Enactor) accumulate(s sched.EnactmentStats) {
 // reservations for a later EnactSchedule or CancelReservations keyed by
 // request.ID.
 func (e *Enactor) MakeReservations(ctx context.Context, request sched.RequestList) sched.Feedback {
+	return e.makeReservations(ctx, request, "")
+}
+
+// makeReservations is MakeReservations plus the requester's domain,
+// retained on the held request so a later enact_schedule is accounted
+// to the same fair-share bucket and priority class at admission.
+func (e *Enactor) makeReservations(ctx context.Context, request sched.RequestList, domain string) sched.Feedback {
 	start := time.Now()
 	ctx, span := e.met.spans.StartIn(ctx, "enactor/make_reservations", e.met.domain)
 	var spanErr error
@@ -283,6 +304,16 @@ func (e *Enactor) MakeReservations(ctx context.Context, request sched.RequestLis
 		return fb
 	}
 	spec := request.Res
+	if spec.Timeout < 0 {
+		// A negative confirmation window is malformed, not "host
+		// default": hosts reject it (reservation.ErrBadRequest), and
+		// letting it through would burn a full negotiation round to
+		// learn that. Same semantics as reservation.Table.Make.
+		fb.Reason = sched.FailureMalformed
+		fb.Detail = fmt.Sprintf("negative reservation confirmation timeout %v", spec.Timeout)
+		spanErr = errors.New(fb.Detail)
+		return fb
+	}
 	if spec.Duration <= 0 {
 		spec.Duration = e.cfg.DefaultDuration
 	}
@@ -298,6 +329,7 @@ func (e *Enactor) MakeReservations(ctx context.Context, request sched.RequestLis
 			e.mu.Lock()
 			e.requests[request.ID] = &heldRequest{
 				resolved: resolved, tokens: tokens, reserved: time.Now(),
+				priority: request.Res.Priority, domain: domain,
 			}
 			e.mu.Unlock()
 			e.accumulate(fb.Stats)
@@ -448,6 +480,7 @@ func (e *Enactor) reserve(ctx context.Context, m sched.Mapping, spec sched.Reser
 		Start:     spec.Start,
 		Duration:  spec.Duration,
 		Timeout:   spec.Timeout,
+		Priority:  spec.Priority,
 	})
 	if err != nil {
 		return nil, err
@@ -591,6 +624,15 @@ func (e *Enactor) enact(ctx context.Context, req *heldRequest) proto.EnactReply 
 // remaining (unredeemed or reusable) reservations, fanning the calls
 // out across the hosts involved.
 func (e *Enactor) rollback(ctx context.Context, req *heldRequest, created [][]loid.LOID) {
+	// Detach from the caller's cancellation: the most common reason to
+	// be here under overload is that the client's deadline expired
+	// mid-enactment, and rollback run under that dead context would
+	// fail every destroy/cancel call — leaking the very tokens it
+	// exists to reclaim. Trace/span values are kept; only the
+	// cancellation signal is dropped, re-bounded by a cleanup budget.
+	var cancel context.CancelFunc
+	ctx, cancel = context.WithTimeout(context.WithoutCancel(ctx), 30*time.Second)
+	defer cancel()
 	ctx, span := e.met.spans.StartIn(ctx, "enactor/rollback", e.met.domain)
 	defer span.Finish(nil)
 	e.met.rollbacks.Inc()
@@ -680,19 +722,50 @@ func (e *Enactor) ReapRequests() int {
 	return e.reapLocked(time.Now())
 }
 
+// requestClass reports the admission class (priority, requester domain)
+// recorded when a request's reservations were made; zero values for an
+// unknown request (it still passes admission, then fails the lookup).
+func (e *Enactor) requestClass(requestID uint64) (int, string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if req, ok := e.requests[requestID]; ok {
+		return req.priority, req.domain
+	}
+	return 0, ""
+}
+
 func (e *Enactor) installMethods() {
 	e.Handle(proto.MethodMakeReservations, func(ctx context.Context, arg any) (any, error) {
 		a, ok := arg.(proto.MakeReservationsArgs)
 		if !ok {
 			return nil, fmt.Errorf("enactor: want MakeReservationsArgs, got %T", arg)
 		}
-		return proto.FeedbackReply{Feedback: e.MakeReservations(ctx, a.Request)}, nil
+		// The overload gate guards the wire-facing entry point: a shed
+		// crosses back as a typed proto.ErrOverload refusal (classified
+		// permanent — never a breaker strike), and nothing downstream
+		// runs for a shed request, so it can leak no tokens.
+		release, err := e.adm.acquire(ctx, "make_reservations", a.RequesterDomain, a.Request.Res.Priority)
+		if err != nil {
+			return nil, err
+		}
+		defer release()
+		return proto.FeedbackReply{Feedback: e.makeReservations(ctx, a.Request, a.RequesterDomain)}, nil
 	})
 	e.Handle(proto.MethodEnactSchedule, func(ctx context.Context, arg any) (any, error) {
 		a, ok := arg.(proto.EnactScheduleArgs)
 		if !ok {
 			return nil, fmt.Errorf("enactor: want EnactScheduleArgs, got %T", arg)
 		}
+		// A shed here records no outcome, so a live retry can still
+		// enact; if the caller never returns, the held reservations are
+		// reclaimed by the hosts' confirmation timeouts and the
+		// Enactor's RequestTTL sweep.
+		prio, domain := e.requestClass(a.RequestID)
+		release, err := e.adm.acquire(ctx, "enact_schedule", domain, prio)
+		if err != nil {
+			return nil, err
+		}
+		defer release()
 		return e.EnactSchedule(ctx, a.RequestID), nil
 	})
 	e.Handle(proto.MethodCancelReservations, func(ctx context.Context, arg any) (any, error) {

@@ -13,6 +13,7 @@ import (
 	"legion/internal/orb"
 	"legion/internal/proto"
 	"legion/internal/sched"
+	"legion/internal/telemetry"
 	"legion/internal/vault"
 )
 
@@ -28,6 +29,9 @@ type env struct {
 func newEnv(t *testing.T, nHosts int, mutate func(i int, c *host.Config)) *env {
 	t.Helper()
 	rt := orb.NewRuntime("uva")
+	// A private registry per env keeps counter assertions independent of
+	// other tests (and of -count=N reruns) sharing telemetry.Default.
+	rt.SetMetrics(telemetry.NewRegistry())
 	v := vault.New(rt, vault.Config{Zone: "z1"})
 	hosts := make([]*host.Host, nHosts)
 	for i := range hosts {

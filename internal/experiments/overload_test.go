@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestE11AdmissionAcceptance pins the E11 acceptance criteria at 5x
+// load: with admission on, goodput is no worse than the uncontrolled
+// baseline (within measurement noise), p99 stays bounded by the client
+// deadline, sheds leave zero reservations or instances behind, and
+// shedding opens zero circuit breakers.
+func TestE11AdmissionAcceptance(t *testing.T) {
+	tb := E11OverloadAdmission([]float64{5}, 400*time.Millisecond)
+	if len(tb.Rows) != 4 {
+		t.Fatalf("rows:\n%s", tb)
+	}
+	var on, off, slowOn []string
+	for _, row := range tb.Rows {
+		switch {
+		case row[0] == "5x" && row[1] == "on":
+			on = row
+		case row[0] == "5x" && row[1] == "off":
+			off = row
+		case row[0] == "5x-slow" && row[1] == "on":
+			slowOn = row
+		}
+	}
+	if on == nil || off == nil || slowOn == nil {
+		t.Fatalf("missing admission on/off rows:\n%s", tb)
+	}
+	col := func(name string) int {
+		for i, h := range tb.Header {
+			if h == name {
+				return i
+			}
+		}
+		t.Fatalf("no column %q", name)
+		return -1
+	}
+
+	// Conservation and breaker invariants are exact.
+	for _, row := range [][]string{on, off, slowOn} {
+		if row[col("leaks")] != "0" {
+			t.Errorf("admission %s/%s leaked: %v", row[0], row[1], row)
+		}
+	}
+	for _, row := range [][]string{on, slowOn} {
+		if row[col("breakers opened")] != "0" {
+			t.Errorf("shedding opened breakers: %v", row)
+		}
+	}
+	// The slow pair saturates the gate: admission must actually shed.
+	if slowOn[col("shed")] == "0" {
+		t.Errorf("saturated admission gate shed nothing: %v", slowOn)
+	}
+
+	// Goodput: admission on must be no worse than uncontrolled (10%
+	// noise floor for CI scheduling jitter).
+	gOn := numVal(t, on[col("goodput/s")])
+	gOff := numVal(t, off[col("goodput/s")])
+	if gOn < 0.9*gOff {
+		t.Errorf("admission-on goodput %.1f < uncontrolled %.1f\n%s", gOn, gOff, tb)
+	}
+
+	// p99 bounded by the client deadline (300ms) when anything succeeded.
+	p99 := on[col("p99")]
+	if p99 != "0s" {
+		d, err := time.ParseDuration(strings.ReplaceAll(p99, "µ", "u"))
+		if err != nil {
+			t.Fatalf("p99 cell %q: %v", p99, err)
+		}
+		if d > 300*time.Millisecond {
+			t.Errorf("admission-on p99 %v exceeds the 300ms client deadline\n%s", d, tb)
+		}
+	}
+}

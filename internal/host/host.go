@@ -80,6 +80,43 @@ func RefuseDomains(domains ...string) PolicyFunc {
 	}
 }
 
+// LoadShedPolicy returns a load-aware placement policy: once the host's
+// reservation occupancy (live reservations / MaxShared) reaches
+// watermark (0..1], requests below minPriority are refused with a typed
+// proto.ErrOverload shed. Higher-priority requests still get the
+// remaining capacity — the Table 2 admission rules are the hard limit —
+// so under saturation the host degrades by shedding its least important
+// work first instead of failing everything at the cliff. Combine with
+// other policies via ChainPolicies.
+func (h *Host) LoadShedPolicy(watermark float64, minPriority int) PolicyFunc {
+	return func(req proto.MakeReservationArgs) error {
+		if req.Priority >= minPriority {
+			return nil
+		}
+		occ := float64(h.table.Active()) / float64(h.cfg.MaxShared)
+		if occ >= watermark {
+			return fmt.Errorf("%w: occupancy %.2f >= watermark %.2f, priority %d < %d",
+				proto.ErrOverload, occ, watermark, req.Priority, minPriority)
+		}
+		return nil
+	}
+}
+
+// ChainPolicies composes placement policies: the first refusal wins.
+func ChainPolicies(policies ...PolicyFunc) PolicyFunc {
+	return func(req proto.MakeReservationArgs) error {
+		for _, p := range policies {
+			if p == nil {
+				continue
+			}
+			if err := p(req); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
 // Activator constructs the runtime object for an activated instance.
 // state is nil for fresh starts and carries the OPR on reactivation.
 type Activator func(instance, class loid.LOID, state *opr.OPR) (orb.Object, error)
@@ -146,6 +183,7 @@ type Host struct {
 	trigs *rge.TriggerSet
 
 	mu      sync.Mutex
+	policy  PolicyFunc // live placement policy (SetPolicy may swap it)
 	running map[loid.LOID]*runningObject
 	extLoad float64
 	pushTo  []pushTarget
@@ -163,6 +201,7 @@ type hostMetrics struct {
 	domain    string
 	granted   *telemetry.Counter
 	refused   *telemetry.Counter
+	shed      *telemetry.Counter
 	starts    *telemetry.Counter
 	startTime *telemetry.Histogram
 }
@@ -174,6 +213,7 @@ func newHostMetrics(rt *orb.Runtime) hostMetrics {
 		domain:    rt.Domain(),
 		granted:   reg.Counter("legion_host_reservations_granted_total"),
 		refused:   reg.Counter("legion_host_reservations_refused_total"),
+		shed:      reg.Counter("legion_host_reservations_shed_total"),
 		starts:    reg.Counter("legion_host_object_starts_total"),
 		startTime: reg.Histogram("legion_host_start_object_seconds", telemetry.LatencyBuckets),
 	}
@@ -215,6 +255,7 @@ func New(rt *orb.Runtime, cfg Config) *Host {
 		ServiceObject: orb.NewServiceObject(rt.Mint("Host")),
 		rt:            rt,
 		cfg:           cfg,
+		policy:        cfg.Policy,
 		table:         nil, // set below, needs LOID
 		running:       make(map[loid.LOID]*runningObject),
 		now:           time.Now,
@@ -257,6 +298,16 @@ func (h *Host) Runtime() *orb.Runtime { return h.rt }
 
 // Zone returns the host's reachability zone.
 func (h *Host) Zone() string { return h.cfg.Zone }
+
+// SetPolicy replaces the host's live placement policy (nil accepts
+// everything). Unlike Config.Policy it may be installed after
+// construction — e.g. a LoadShedPolicy needs the built host's
+// reservation table — and is read under the host's mutex.
+func (h *Host) SetPolicy(p PolicyFunc) {
+	h.mu.Lock()
+	h.policy = p
+	h.mu.Unlock()
+}
 
 // SetClock overrides time sources (reservation table included).
 func (h *Host) SetClock(now func() time.Time) {
@@ -468,9 +519,15 @@ func (h *Host) StartReaper(interval time.Duration) (stop func()) {
 // that its local placement policy permits instantiating the object".
 func (h *Host) MakeReservation(ctx context.Context, req proto.MakeReservationArgs) (*reservation.Token, error) {
 	// 1. Local placement policy (site autonomy comes first).
-	if h.cfg.Policy != nil {
-		if err := h.cfg.Policy(req); err != nil {
+	h.mu.Lock()
+	policy := h.policy
+	h.mu.Unlock()
+	if policy != nil {
+		if err := policy(req); err != nil {
 			h.met.refused.Inc()
+			if errors.Is(err, proto.ErrOverload) {
+				h.met.shed.Inc()
+			}
 			return nil, err
 		}
 	}

@@ -12,6 +12,7 @@ import (
 	"legion/internal/orb"
 	"legion/internal/proto"
 	"legion/internal/reservation"
+	"legion/internal/telemetry"
 	"legion/internal/vault"
 )
 
@@ -25,6 +26,9 @@ type testEnv struct {
 func newEnv(t *testing.T, mutate func(*Config)) *testEnv {
 	t.Helper()
 	rt := orb.NewRuntime("uva")
+	// Private registry: metric assertions stay independent of other
+	// tests (and -count=N reruns) sharing telemetry.Default.
+	rt.SetMetrics(telemetry.NewRegistry())
 	v := vault.New(rt, vault.Config{Zone: "z1"})
 	cfg := Config{
 		Arch: "sparc", OS: "IRIX", OSVersion: "5.3",

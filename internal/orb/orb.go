@@ -57,6 +57,11 @@ var (
 	ErrNoMethod = errors.New("orb: no such method")
 	// ErrInjectedFault reports a fault introduced by a FaultInjector.
 	ErrInjectedFault = errors.New("orb: injected fault")
+	// ErrDeadlineExpired reports that a request's propagated deadline had
+	// already passed when the serving runtime dequeued the frame, so the
+	// method was never invoked — the caller has abandoned the call and any
+	// work done for it would be wasted.
+	ErrDeadlineExpired = errors.New("orb: deadline expired before dispatch")
 )
 
 // RemoteError is a method error that crossed the wire. It preserves the

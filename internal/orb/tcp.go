@@ -22,14 +22,19 @@ func RegisterWireType(v any) { gob.Register(v) }
 // request is one method invocation on the wire. TraceID/SpanID carry
 // the caller's active telemetry span (zero when the caller has none) so
 // the serving runtime's spans parent under it — this is how one
-// placement request is followed across runtimes.
+// placement request is followed across runtimes. Deadline carries the
+// caller's context deadline (UnixNano; zero when the caller has none):
+// the serving runtime reconstructs it as a server-side context deadline,
+// so work the caller has already abandoned is cancelled at every hop
+// instead of only at the origin.
 type request struct {
-	ID      uint64
-	Target  wireLOID
-	Method  string
-	Arg     any
-	TraceID uint64
-	SpanID  uint64
+	ID       uint64
+	Target   wireLOID
+	Method   string
+	Arg      any
+	TraceID  uint64
+	SpanID   uint64
+	Deadline int64
 }
 
 // wireLOID mirrors loid.LOID for gob (kept separate so the loid package
@@ -45,7 +50,7 @@ type response struct {
 	ID      uint64
 	Result  any
 	ErrMsg  string
-	ErrKind int // 0 none, 1 generic, 2 not bound, 3 no method
+	ErrKind int // 0 none, 1 generic, 2 not bound, 3 no method, 4 deadline expired
 }
 
 const (
@@ -53,6 +58,7 @@ const (
 	errKindGeneric
 	errKindNotBound
 	errKindNoMethod
+	errKindDeadline
 )
 
 func encodeErr(err error) (int, string) {
@@ -63,6 +69,8 @@ func encodeErr(err error) (int, string) {
 		return errKindNotBound, err.Error()
 	case errors.Is(err, ErrNoMethod):
 		return errKindNoMethod, err.Error()
+	case errors.Is(err, ErrDeadlineExpired):
+		return errKindDeadline, err.Error()
 	default:
 		return errKindGeneric, err.Error()
 	}
@@ -76,6 +84,8 @@ func decodeErr(kind int, msg string) error {
 		return fmt.Errorf("%w: %s", ErrNotBound, msg)
 	case errKindNoMethod:
 		return fmt.Errorf("%w: %s", ErrNoMethod, msg)
+	case errKindDeadline:
+		return fmt.Errorf("%w: %s", ErrDeadlineExpired, msg)
 	default:
 		return &RemoteError{Msg: msg}
 	}
@@ -206,7 +216,29 @@ func (s *tcpServer) serveConn(conn net.Conn) {
 			reg := s.rt.Metrics()
 			ctx, span := reg.Spans().StartIn(ctx, "rpc/"+req.Method, s.rt.Domain())
 			start := time.Now()
-			res, err := s.rt.Call(ctx, target, req.Method, req.Arg)
+			var res any
+			var err error
+			if req.Deadline != 0 {
+				dl := time.Unix(0, req.Deadline)
+				if !dl.After(time.Now()) {
+					// The caller abandoned this request before we even
+					// dequeued it: refuse without invoking the method so
+					// doomed work is shed at every hop, not just at the
+					// origin.
+					reg.Counter("legion_orb_deadline_expired_total",
+						"method", req.Method).Inc()
+					err = fmt.Errorf("%w: %s (deadline %s ago)",
+						ErrDeadlineExpired, req.Method,
+						time.Since(dl).Round(time.Millisecond))
+				} else {
+					var cancel context.CancelFunc
+					ctx, cancel = context.WithDeadline(ctx, dl)
+					defer cancel()
+				}
+			}
+			if err == nil {
+				res, err = s.rt.Call(ctx, target, req.Method, req.Arg)
+			}
 			span.Finish(err)
 			reg.Histogram("legion_orb_server_seconds", telemetry.LatencyBuckets,
 				"method", req.Method).ObserveSince(start)
@@ -434,6 +466,9 @@ func (rt *Runtime) callRemoteRaw(ctx context.Context, addr string, target loid.L
 	}
 	if sc, ok := telemetry.SpanFromContext(ctx); ok {
 		req.TraceID, req.SpanID = sc.TraceID, sc.SpanID
+	}
+	if d, ok := ctx.Deadline(); ok {
+		req.Deadline = d.UnixNano()
 	}
 	return c.call(ctx, req)
 }

@@ -12,6 +12,7 @@
 package proto
 
 import (
+	"errors"
 	"time"
 
 	"legion/internal/attr"
@@ -21,6 +22,17 @@ import (
 	"legion/internal/reservation"
 	"legion/internal/sched"
 )
+
+// ErrOverload is the typed refusal servers return when they shed a
+// request under load (admission control at the Enactor, occupancy
+// watermarks at a Host). It is a *refusal*, not a transport failure:
+// package resilient classifies it permanent, so shedding makes callers
+// back off through their protocol loops without opening circuit
+// breakers — a loaded server is alive, and tripping breakers on sheds
+// would amplify the overload into an availability collapse. The message
+// prefix survives orb.RemoteError's identity erasure, so the classifier
+// recognizes sheds across the wire too.
+var ErrOverload = errors.New("legion: overloaded, request shed")
 
 // Host object methods (Table 1), plus the trigger-registration calls the
 // Monitor uses (§3.5) and the attribute report every Legion object
@@ -120,9 +132,14 @@ type MakeReservationArgs struct {
 	// Start of the wanted interval; zero means now.
 	Start time.Time
 	// Duration of wanted service; Timeout is the confirmation deadline
-	// for instantaneous reservations (zero = host default).
+	// for instantaneous reservations (zero = host default, negative is
+	// rejected as malformed — see reservation.Table.Make).
 	Duration time.Duration
 	Timeout  time.Duration
+	// Priority is the request's priority class (higher = more
+	// important; 0 is the default class). Load-shedding Host policies
+	// refuse low-priority reservations above an occupancy watermark.
+	Priority int
 }
 
 // MakeReservationReply carries the granted token.
@@ -372,6 +389,10 @@ type InstancesReply struct {
 // MakeReservationsArgs passes the entire schedule structure.
 type MakeReservationsArgs struct {
 	Request sched.RequestList
+	// RequesterDomain names the calling Scheduler's domain; the
+	// Enactor's admission controller uses it for per-domain fair-share
+	// accounting. Empty means "unattributed" (one shared bucket).
+	RequesterDomain string
 }
 
 // FeedbackReply wraps the LegionScheduleFeedback.

@@ -135,6 +135,13 @@ func (tb *Table) Make(req Request) (*Token, error) {
 	if req.Duration <= 0 {
 		return nil, fmt.Errorf("%w: non-positive duration", ErrBadRequest)
 	}
+	if req.Timeout < 0 {
+		// A negative confirmation window would be stored as-is and the
+		// `Timeout > 0` expiry guards would never fire: the unconfirmed
+		// grant could outlive every reaper sweep — a permanent leak.
+		// Reject it as malformed instead of silently defaulting.
+		return nil, fmt.Errorf("%w: negative confirmation timeout %v", ErrBadRequest, req.Timeout)
+	}
 	tb.mu.Lock()
 	defer tb.mu.Unlock()
 

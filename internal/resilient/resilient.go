@@ -37,6 +37,7 @@ import (
 
 	"legion/internal/host"
 	"legion/internal/orb"
+	"legion/internal/proto"
 	"legion/internal/reservation"
 )
 
@@ -82,6 +83,12 @@ var permanentMarks = []string{
 	reservation.ErrBadRequest.Error(),
 	orb.ErrNotBound.Error(),
 	orb.ErrNoMethod.Error(),
+	// Overload sheds and expired-deadline refusals are deliberate
+	// server decisions, not connection failures: retrying immediately
+	// would feed the overload, and counting them toward breakers would
+	// take a *live* (merely busy) endpoint out of rotation.
+	proto.ErrOverload.Error(),
+	orb.ErrDeadlineExpired.Error(),
 }
 
 // transportMarks are substrings of errors produced by the orb transport
@@ -119,6 +126,12 @@ func Classify(err error) Class {
 	case errors.Is(err, context.Canceled):
 		return ClassPermanent
 	case errors.Is(err, orb.ErrNotBound), errors.Is(err, orb.ErrNoMethod):
+		return ClassPermanent
+	case errors.Is(err, proto.ErrOverload), errors.Is(err, orb.ErrDeadlineExpired):
+		// A shed or an expired-on-arrival frame is a refusal by a live
+		// server: retrying the same call feeds the overload. Callers fall
+		// through to their protocol-level logic (regenerate, back off)
+		// and breakers never count it as a strike.
 		return ClassPermanent
 	case errors.Is(err, host.ErrPolicy), errors.Is(err, host.ErrVaultUnreachable):
 		return ClassPermanent

@@ -171,6 +171,11 @@ type ReservationSpec struct {
 	Start    time.Time
 	Duration time.Duration
 	Timeout  time.Duration
+	// Priority is the request's priority class (higher = more
+	// important; 0 is the default). The Enactor's admission controller
+	// orders its wait-queue by it and sheds low classes first; Hosts may
+	// refuse low classes above an occupancy watermark.
+	Priority int
 }
 
 // RequestList is the paper's LegionScheduleRequestList: the entire

@@ -4,13 +4,30 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"sync/atomic"
+	"time"
 
 	"legion/internal/loid"
+	"legion/internal/orb"
 	"legion/internal/proto"
 	"legion/internal/resilient"
 	"legion/internal/sched"
 )
+
+// isRefusal reports whether err is a typed refusal — an admission shed
+// or a deadline expiry caught before dispatch — for which the remote
+// method is guaranteed not to have run. Cross-runtime calls flatten
+// sentinel identity into a RemoteError message, so the check falls back
+// to the sentinel text (the same convention resilient.Classify uses).
+func isRefusal(err error) bool {
+	if errors.Is(err, proto.ErrOverload) || errors.Is(err, orb.ErrDeadlineExpired) {
+		return true
+	}
+	msg := err.Error()
+	return strings.Contains(msg, proto.ErrOverload.Error()) ||
+		strings.Contains(msg, orb.ErrDeadlineExpired.Error())
+}
 
 // wrapperIDs mints request IDs for Wrapper-driven episodes. It starts
 // high so IDs never collide with an Enactor's own NewRequestID sequence
@@ -75,6 +92,24 @@ func (w Wrapper) Run(ctx context.Context, env *Env, enactorL loid.LOID, gen Gene
 	}
 	caller := resilient.NewCallerWith(env.RT, env.Retry, env.Breakers)
 
+	// cancelEpisode best-effort releases one episode's reservations on a
+	// context detached from the caller's: the episodes worth cancelling
+	// are exactly the ones abandoned because the caller's deadline died,
+	// and a cancel under that dead context could never land. An episode
+	// the Enactor never recorded answers ErrUnknownRequest — harmless.
+	// Cleanup runs breaker-free: a faulted cancel is bookkeeping, not a
+	// verdict on the Enactor's health, and letting it strike the shared
+	// breaker would fail the *placement* path for hygiene's sake. The
+	// cancel is idempotent (a repeat answers ErrUnknownRequest), so it
+	// retries transport faults under the normal policy.
+	canceller := resilient.NewCallerWith(env.RT, env.Retry, nil)
+	cancelEpisode := func(id uint64) {
+		cctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), 5*time.Second)
+		defer cancel()
+		_, _ = canceller.Call(cctx, enactorL, proto.MethodCancelReservations,
+			proto.CancelReservationsArgs{RequestID: id})
+	}
+
 	var out Outcome
 	var lastErr error
 	for i := 0; i < schedLimit; i++ {
@@ -92,17 +127,33 @@ func (w Wrapper) Run(ctx context.Context, env *Env, enactorL loid.LOID, gen Gene
 			// Hosts' confirmation timeouts, whereas reusing the ID would
 			// silently overwrite held state at the Enactor.
 			var fb sched.Feedback
+			var staleIDs []uint64
 			rerr := env.Retry.Do(ctx, func(actx context.Context) error {
 				request.ID = wrapperIDs.Add(1)
 				res, cerr := caller.CallOnce(actx, enactorL, proto.MethodMakeReservations,
-					proto.MakeReservationsArgs{Request: request})
+					proto.MakeReservationsArgs{Request: request, RequesterDomain: env.RT.Domain()})
 				if cerr != nil {
+					// The attempt may have succeeded server-side with the
+					// reply lost — its episode (never to be enacted: the
+					// next attempt mints a fresh ID) would strand its
+					// unconfirmed grants until the hosts' confirmation
+					// timeouts. Remember the ID and cancel it below —
+					// unless the fault provably fired before dispatch
+					// (NeverReached), in which case no episode exists and
+					// a cancel would be pure extra load on a link that is
+					// already misbehaving.
+					if !resilient.NeverReached(cerr) {
+						staleIDs = append(staleIDs, request.ID)
+					}
 					out.TransportRetries++
 					return cerr
 				}
 				fb = res.(proto.FeedbackReply).Feedback
 				return nil
 			})
+			for _, id := range staleIDs {
+				cancelEpisode(id)
+			}
 			if rerr != nil {
 				lastErr = rerr
 				if errors.Is(rerr, resilient.ErrCircuitOpen) {
@@ -130,6 +181,17 @@ func (w Wrapper) Run(ctx context.Context, env *Env, enactorL loid.LOID, gen Gene
 				proto.EnactScheduleArgs{RequestID: request.ID})
 			if err != nil {
 				lastErr = err
+				// A refusal (admission shed, deadline expired before
+				// dispatch) guarantees the enactment never ran, so the
+				// held reservations can be released immediately instead
+				// of aging out through the confirmation timeouts. Other
+				// errors are ambiguous — the enactment may have
+				// completed with the reply lost — and cancelling could
+				// strand running instances, so those are left to the
+				// Enactor's TTL sweep and the hosts' reapers.
+				if isRefusal(err) {
+					cancelEpisode(request.ID)
+				}
 				continue
 			}
 			reply := eres.(proto.EnactReply)
