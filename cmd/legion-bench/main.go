@@ -31,6 +31,16 @@ type experiment struct {
 // the sweep to a single rate.
 var faultRates = []float64{0, 0.05, 0.20}
 
+// e12Hosts/e12Requests size E12's virtual-time campaign. The catalogue
+// default is the reduced CI row (10k hosts / 50k placements, seconds of
+// wall time); -virtual switches to the committed full-scale row
+// (100k / 1M, minutes of wall time), and -hosts/-requests override
+// either.
+var (
+	e12Hosts    = 10_000
+	e12Requests = 50_000
+)
+
 func catalogue() []experiment {
 	return []experiment{
 		{"T1", "Host interface per-op latency (Table 1)", func() *experiments.Table {
@@ -99,6 +109,9 @@ func catalogue() []experiment {
 		{"E11", "Overload storms: admission control vs uncontrolled", func() *experiments.Table {
 			return experiments.E11OverloadAdmission(nil, 0)
 		}},
+		{"E12", "Virtual-time scale: open-loop placements, discrete-event clock", func() *experiments.Table {
+			return experiments.E12VirtualScale(e12Hosts, e12Requests)
+		}},
 		{"A1", "Ablation: variants vs regenerate", func() *experiments.Table {
 			return experiments.A1VariantVsRegenerate(30, 3)
 		}},
@@ -122,10 +135,25 @@ func main() {
 		metrics   = flag.Bool("metrics", false, "after running, dump the accumulated telemetry registry as text")
 		asJSON    = flag.Bool("json", false, "emit the result tables as a JSON array instead of text")
 		compare   = flag.String("compare", "", "diff this run's tables against a baseline -json file; exits nonzero past LEGION_BENCH_DRIFT_MAX (fraction, unset = report only)")
+		virtual   = flag.Bool("virtual", false, "run E12 at full committed scale (100k hosts / 1M placements; implies -run E12 when -run is unset)")
+		hosts     = flag.Int("hosts", 0, "override E12 fleet size (virtual-time hosts)")
+		requests  = flag.Int("requests", 0, "override E12 placement count")
 	)
 	flag.Parse()
 	if *faultrate >= 0 {
 		faultRates = []float64{*faultrate}
+	}
+	if *virtual {
+		e12Hosts, e12Requests = 100_000, 1_000_000
+		if *run == "" {
+			*run = "E12"
+		}
+	}
+	if *hosts > 0 {
+		e12Hosts = *hosts
+	}
+	if *requests > 0 {
+		e12Requests = *requests
 	}
 
 	cat := catalogue()

@@ -23,6 +23,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"legion/internal/vclock"
 )
 
 // Policy selects the queue ordering discipline.
@@ -86,6 +88,9 @@ type Config struct {
 	// between a job reaching the head of the queue with a free slot and
 	// its start callback running. Zero dispatches synchronously.
 	DispatchDelay time.Duration
+	// Clock supplies dispatch timers and wait-time accounting; nil means
+	// the wall clock.
+	Clock vclock.Clock
 }
 
 // Errors returned by Queue operations.
@@ -169,7 +174,8 @@ type Queue struct {
 	running int
 	stats   Stats
 	closed  bool
-	timers  map[*time.Timer]struct{}
+	timers  map[vclock.Timer]struct{}
+	clock   vclock.Clock
 	now     func() time.Time
 }
 
@@ -179,12 +185,14 @@ func New(cfg Config) *Queue {
 	if cfg.Slots < 1 {
 		panic(fmt.Sprintf("batchq: %q: slots must be >= 1, got %d", cfg.Name, cfg.Slots))
 	}
+	clock := vclock.Default(cfg.Clock)
 	return &Queue{
 		cfg:     cfg,
 		jobs:    make(map[JobID]*job),
-		timers:  make(map[*time.Timer]struct{}),
+		timers:  make(map[vclock.Timer]struct{}),
 		pending: jobHeap{policy: cfg.Policy},
-		now:     time.Now,
+		clock:   clock,
+		now:     clock.Now,
 	}
 }
 
@@ -244,8 +252,8 @@ func (q *Queue) fillSlotsLocked() []func() {
 			}
 			continue
 		}
-		var tm *time.Timer
-		tm = time.AfterFunc(q.cfg.DispatchDelay, func() {
+		var tm vclock.Timer
+		tm = q.clock.AfterFunc(q.cfg.DispatchDelay, func() {
 			q.mu.Lock()
 			delete(q.timers, tm)
 			if q.closed || j.state != StateQueued {

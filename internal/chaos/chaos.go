@@ -21,6 +21,7 @@
 package chaos
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"os"
@@ -33,6 +34,7 @@ import (
 	"legion/internal/loid"
 	"legion/internal/orb"
 	"legion/internal/vault"
+	"legion/internal/vclock"
 )
 
 // SiteSpec describes one administrative domain of a World.
@@ -61,10 +63,15 @@ type World struct {
 	Sites []*Site
 
 	seed  int64
+	clock vclock.Clock
 	mu    sync.Mutex
 	rng   *rand.Rand
 	rules map[*orb.Runtime][]orb.FaultInjector
 }
+
+// Clock returns the world's time source (opts.Clock at NewWorld, or the
+// wall clock).
+func (w *World) Clock() vclock.Clock { return w.clock }
 
 // Seed returns the seed the World's fault RNG was built with. Test
 // harnesses log it on failure so a flaky-fault sequence can be replayed
@@ -97,9 +104,15 @@ func SeedFromEnv(fallback int64) int64 {
 func NewWorld(seed int64, opts core.Options, specs ...SiteSpec) (*World, error) {
 	w := &World{
 		seed:  seed,
+		clock: vclock.Default(opts.Clock),
 		rng:   rand.New(rand.NewSource(seed)),
 		rules: make(map[*orb.Runtime][]orb.FaultInjector),
 	}
+	// Virtual-time worlds stay in one address space: TCP connection
+	// goroutines are invisible to the discrete-event barrier, so the
+	// sites are not served over the wire (links are still simulated —
+	// SetLatency sleeps on the virtual clock).
+	inProcess := opts.Clock != nil
 	for i, spec := range specs {
 		o := opts
 		o.Seed = opts.Seed + int64(i)
@@ -125,6 +138,11 @@ func NewWorld(seed int64, opts core.Options, specs ...SiteSpec) (*World, error) 
 			ms.AddHost(cfg)
 		}
 		ms.DefineClass("Worker", nil)
+		if inProcess {
+			ms.ServeDirectory()
+			w.Sites = append(w.Sites, &Site{MS: ms})
+			continue
+		}
 		addr, err := ms.ListenAndServe("127.0.0.1:0")
 		if err != nil {
 			w.Close()
@@ -132,10 +150,11 @@ func NewWorld(seed int64, opts core.Options, specs ...SiteSpec) (*World, error) 
 		}
 		w.Sites = append(w.Sites, &Site{MS: ms, Addr: addr})
 	}
-	// Full-mesh federation.
+	// Full-mesh federation (served worlds only; an in-process world has
+	// no wire addresses to bind).
 	for _, a := range w.Sites {
 		for _, b := range w.Sites {
-			if a != b {
+			if a != b && b.Addr != "" {
 				a.MS.Runtime().BindDomain(b.MS.Domain(), b.Addr)
 			}
 		}
@@ -308,17 +327,21 @@ func (w *World) TotalRunning(s *Site) int {
 // rollback runs on a server-side goroutine that may still be in flight
 // when the last client-side request returns, so an instantaneous count
 // taken at drain can observe tokens that are already being released.
+// In virtual-time worlds call it from a clock-registered goroutine: the
+// polling sleep parks on the discrete-event clock.
 func (w *World) Quiesce(s *Site, timeout time.Duration) (reservations, running int) {
-	deadline := time.Now().Add(timeout)
+	deadline := w.clock.Now().Add(timeout)
 	for {
 		reservations = w.OrphanedReservations(s)
 		running = w.TotalRunning(s)
 		if reservations == 0 && running == 0 {
 			return 0, 0
 		}
-		if time.Now().After(deadline) {
+		if w.clock.Now().After(deadline) {
 			return reservations, running
 		}
-		time.Sleep(5 * time.Millisecond)
+		if w.clock.Sleep(context.Background(), 5*time.Millisecond) != nil {
+			return reservations, running
+		}
 	}
 }

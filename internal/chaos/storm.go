@@ -12,6 +12,7 @@ import (
 	"legion/internal/proto"
 	"legion/internal/sched"
 	"legion/internal/scheduler"
+	"legion/internal/vclock"
 )
 
 // StormConfig shapes an open-loop overload storm against one site.
@@ -45,6 +46,13 @@ type StormConfig struct {
 	// an overloaded run fails fast instead of multiplying the offered
 	// load with retries.
 	Wrapper scheduler.Wrapper
+	// Clock drives the arrival schedule, per-request deadlines, and
+	// latency measurement; nil means the World's clock. Taking the
+	// clock here (rather than time.Now) is what makes a fixed-seed
+	// storm replay bit-identically on any machine: under a virtual
+	// clock the absolute schedule becomes a deterministic sequence of
+	// discrete events immune to scheduler jitter.
+	Clock vclock.Clock
 }
 
 // StormResult aggregates one storm's outcomes.
@@ -118,10 +126,14 @@ func (w *World) Storm(ctx context.Context, s *Site, cfg StormConfig) *StormResul
 	}
 	class, _ := s.MS.Class("Worker")
 
+	clock := cfg.Clock
+	if clock == nil {
+		clock = w.clock
+	}
 	res := &StormResult{ShedByPriority: make(map[int]int)}
 	var mu sync.Mutex
-	var wg sync.WaitGroup
-	start := time.Now()
+	wg := clock.NewGroup()
+	start := clock.Now()
 	interval := time.Duration(float64(time.Second) / cfg.Rate)
 
 	fire := func(i int) {
@@ -133,10 +145,10 @@ func (w *World) Storm(ctx context.Context, s *Site, cfg StormConfig) *StormResul
 		rctx := ctx
 		if cfg.Deadline > 0 {
 			var cancel context.CancelFunc
-			rctx, cancel = context.WithTimeout(ctx, cfg.Deadline)
+			rctx, cancel = clock.WithTimeout(ctx, cfg.Deadline)
 			defer cancel()
 		}
-		t0 := time.Now()
+		t0 := clock.Now()
 		out, err := s.MS.PlaceApplicationLimits(rctx, cfg.Generator, scheduler.Request{
 			Classes: []scheduler.ClassRequest{{Class: class.LOID(), Count: cfg.Instances}},
 			Res: sched.ReservationSpec{
@@ -144,13 +156,13 @@ func (w *World) Storm(ctx context.Context, s *Site, cfg StormConfig) *StormResul
 				Priority: prio,
 			},
 		}, cfg.Wrapper)
-		lat := time.Since(t0)
+		lat := clock.Since(t0)
 
 		if err == nil && out.Success {
 			// Tear down with a fresh context: the request deadline may
 			// already be spent, and a successful placement must not leak
 			// just because cleanup raced it.
-			cctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), 5*time.Second)
+			cctx, cancel := clock.WithTimeout(context.WithoutCancel(ctx), 5*time.Second)
 			for j, insts := range out.Instances {
 				for _, inst := range insts {
 					_, _ = s.MS.Runtime().Call(cctx, out.Feedback.Resolved[j].Class,
@@ -186,21 +198,20 @@ func (w *World) Storm(ctx context.Context, s *Site, cfg StormConfig) *StormResul
 		if next.Sub(start) >= cfg.Duration {
 			break
 		}
-		if d := time.Until(next); d > 0 {
-			select {
-			case <-time.After(d):
-			case <-ctx.Done():
-				wg.Wait()
-				res.Elapsed = time.Since(start)
+		if d := clock.Until(next); d > 0 {
+			if clock.Sleep(ctx, d) != nil {
+				_ = wg.Wait(context.Background())
+				res.Elapsed = clock.Since(start)
 				return res
 			}
 		}
 		wg.Add(1)
 		res.Offered++
-		go fire(i)
+		n := i
+		clock.Go(func() { fire(n) })
 	}
-	wg.Wait()
-	res.Elapsed = time.Since(start)
+	_ = wg.Wait(context.Background())
+	res.Elapsed = clock.Since(start)
 	return res
 }
 

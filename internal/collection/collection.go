@@ -168,7 +168,7 @@ func New(rt *orb.Runtime, auth Authorizer) *Collection {
 		idx:           newAttrIndex(DefaultIndexedKeys),
 		funcs:         make(map[string]query.Func),
 		auth:          auth,
-		now:           time.Now,
+		now:           rt.Clock().Now,
 		met:           newCollectionMetrics(rt),
 	}
 	c.installMethods()

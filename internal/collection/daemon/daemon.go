@@ -144,10 +144,14 @@ func New(rt *orb.Runtime, cfg Config) *Daemon {
 	}
 	if cfg.Liveness == nil {
 		cfg.Liveness = monitor.NewLiveness(3*cfg.Interval, cfg.DownAfter)
+		cfg.Liveness.SetClock(rt.Clock().Now)
 		// A tracker minted here is observed by nothing else, so the
 		// daemon wires the flap counters itself; a caller-supplied
 		// tracker keeps whatever observer the caller installed.
 		wireLivenessCounters(cfg.Liveness, rt.Metrics())
+	}
+	if cfg.Retry.Clock == nil {
+		cfg.Retry.Clock = rt.Clock()
 	}
 	call := resilient.NewCaller(rt, cfg.Retry, cfg.Breaker)
 	if cfg.Breakers != nil {
@@ -238,7 +242,7 @@ func (d *Daemon) flushOne(ctx context.Context, coll loid.LOID, cb *collBatch) {
 	if len(entries) == 0 {
 		return
 	}
-	cctx, cancel := context.WithTimeout(ctx, d.cfg.CallTimeout)
+	cctx, cancel := d.rt.Clock().WithTimeout(ctx, d.cfg.CallTimeout)
 	defer cancel()
 	d.mu.Lock()
 	d.pushCalls++
@@ -318,7 +322,7 @@ func (d *Daemon) Sweep(ctx context.Context) int {
 	oks := make([]int, len(resources))
 	fanout.Do(d.cfg.Parallelism, len(resources), func(ri int) {
 		res := resources[ri]
-		cctx, cancel := context.WithTimeout(ctx, d.cfg.CallTimeout)
+		cctx, cancel := d.rt.Clock().WithTimeout(ctx, d.cfg.CallTimeout)
 		reply, err := d.call.Call(cctx, res, proto.MethodGetAttributes, nil)
 		cancel()
 		attrs, isAttrs := reply.(proto.AttributesReply)
@@ -381,7 +385,7 @@ func (d *Daemon) flagDown(ctx context.Context, res loid.LOID, collections []loid
 		if !d.hasJoined(coll, res) {
 			continue
 		}
-		cctx, cancel := context.WithTimeout(ctx, d.cfg.CallTimeout)
+		cctx, cancel := d.rt.Clock().WithTimeout(ctx, d.cfg.CallTimeout)
 		d.mu.Lock()
 		d.pushCalls++
 		d.mu.Unlock()
@@ -417,7 +421,7 @@ func (d *Daemon) deposit(ctx context.Context, coll, res loid.LOID, attrs proto.A
 		d.enqueue(ctx, coll, proto.BatchEntry{Member: res, Attrs: attrs.Attrs})
 		return true
 	}
-	cctx, cancel := context.WithTimeout(ctx, d.cfg.CallTimeout)
+	cctx, cancel := d.rt.Clock().WithTimeout(ctx, d.cfg.CallTimeout)
 	defer cancel()
 	key := d.joinKey(coll, res)
 	d.mu.Lock()
@@ -452,31 +456,24 @@ func (d *Daemon) deposit(ctx context.Context, coll, res loid.LOID, attrs proto.A
 // Start begins periodic sweeps (and, in batched mode, periodic
 // flushes); Stop ends them.
 func (d *Daemon) Start() {
-	go func() {
-		t := time.NewTicker(d.cfg.Interval)
+	clock := d.rt.Clock()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() { <-d.stop; cancel() }()
+	clock.Go(func() {
+		t := clock.NewTicker(d.cfg.Interval)
 		defer t.Stop()
-		for {
-			select {
-			case <-t.C:
-				d.Sweep(context.Background())
-			case <-d.stop:
-				return
-			}
+		for t.Wait(ctx) == nil {
+			d.Sweep(context.Background())
 		}
-	}()
+	})
 	if d.batching() {
-		go func() {
-			t := time.NewTicker(d.cfg.BatchInterval)
+		clock.Go(func() {
+			t := clock.NewTicker(d.cfg.BatchInterval)
 			defer t.Stop()
-			for {
-				select {
-				case <-t.C:
-					d.FlushAll(context.Background())
-				case <-d.stop:
-					return
-				}
+			for t.Wait(ctx) == nil {
+				d.FlushAll(context.Background())
 			}
-		}()
+		})
 	}
 }
 

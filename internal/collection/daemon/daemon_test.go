@@ -11,6 +11,7 @@ import (
 	"legion/internal/loid"
 	"legion/internal/orb"
 	"legion/internal/vault"
+	"legion/internal/vclock"
 )
 
 func setup(t *testing.T) (*orb.Runtime, *collection.Collection, *host.Host, *Daemon) {
@@ -89,19 +90,64 @@ func TestSweepToleratesDeadCollection(t *testing.T) {
 	}
 }
 
+// TestPeriodicStartStop drives the periodic sweep on the virtual clock:
+// one Advance past the interval deterministically completes exactly one
+// sweep (the engine waits for quiescence), replacing the old
+// poll-until-deposited loop that slept on the wall clock.
 func TestPeriodicStartStop(t *testing.T) {
-	_, c, _, d := setup(t)
+	vc := vclock.NewVirtual()
+	rt := orb.NewRuntime("uva")
+	rt.SetClock(vc)
+	v := vault.New(rt, vault.Config{Zone: "z1"})
+	h := host.New(rt, host.Config{
+		Arch: "x86", OS: "Linux", CPUs: 2, MemoryMB: 256, Zone: "z1",
+		Vaults: []loid.LOID{v.LOID()},
+	})
+	c := collection.New(rt, nil)
+	d := New(rt, Config{Interval: 5 * time.Millisecond, Credential: "cred"})
+	d.Watch(h.LOID())
+	d.PushInto(c.LOID())
+
 	d.Start()
-	defer d.Stop()
-	deadline := time.Now().Add(2 * time.Second)
-	for c.Size() == 0 {
-		if time.Now().After(deadline) {
-			t.Fatal("periodic sweep never deposited")
-		}
-		time.Sleep(2 * time.Millisecond)
+	vc.Advance(5 * time.Millisecond)
+	if c.Size() == 0 {
+		t.Fatal("periodic sweep never deposited")
+	}
+	sweeps, _ := d.Stats()
+	if sweeps != 1 {
+		t.Fatalf("sweeps = %d after one interval, want exactly 1", sweeps)
 	}
 	d.Stop()
 	d.Stop() // idempotent
+}
+
+// TestBatchIntervalVirtual checks the batch flush fires on its own
+// periodic timer: deposits buffered by a sweep stay out of the
+// Collection until virtual time crosses BatchInterval.
+func TestBatchIntervalVirtual(t *testing.T) {
+	vc := vclock.NewVirtual()
+	rt := orb.NewRuntime("uva")
+	rt.SetClock(vc)
+	c := collection.New(rt, nil)
+	d := New(rt, Config{
+		Interval: time.Hour, Credential: "cred",
+		BatchInterval: 50 * time.Millisecond, BatchSize: 1 << 20,
+	})
+	for i := 0; i < 4; i++ {
+		d.Watch(newFakeRes(rt, i).LOID())
+	}
+	d.PushInto(c.LOID())
+	d.Start()
+
+	d.Sweep(context.Background())
+	if c.Size() != 0 {
+		t.Fatalf("batched entries landed before the flush interval: size=%d", c.Size())
+	}
+	vc.Advance(50 * time.Millisecond)
+	if c.Size() != 4 {
+		t.Fatalf("flush tick deposited %d entries, want 4", c.Size())
+	}
+	d.Stop()
 }
 
 func TestMultipleCollections(t *testing.T) {

@@ -172,7 +172,7 @@ func (r *Router) shardIndex(member loid.LOID) int {
 
 // shardCall forwards one call to a shard under the per-shard deadline.
 func (r *Router) shardCall(ctx context.Context, shard loid.LOID, method string, arg any) (any, error) {
-	cctx, cancel := context.WithTimeout(ctx, r.cfg.ShardTimeout)
+	cctx, cancel := r.rt.Clock().WithTimeout(ctx, r.cfg.ShardTimeout)
 	defer cancel()
 	return r.call.Call(cctx, shard, method, arg)
 }

@@ -38,6 +38,7 @@ import (
 	"legion/internal/scheduler"
 	"legion/internal/telemetry"
 	"legion/internal/vault"
+	"legion/internal/vclock"
 )
 
 // Options tunes Metasystem construction.
@@ -105,6 +106,11 @@ type Options struct {
 	// above the watermark; zero means 1 (so priority-0 best-effort
 	// requests are the ones shed).
 	ShedMinPriority int
+	// Clock is the metasystem's time source; nil means the wall clock.
+	// A virtual clock here propagates to every service built on this
+	// runtime — retries, admission, daemons, reapers — which is what
+	// the discrete-event simulation mode runs on (DESIGN.md §13).
+	Clock vclock.Clock
 }
 
 // Metasystem is one administrative domain's assembled Legion RMI.
@@ -200,6 +206,14 @@ func New(domain string, opts Options) *Metasystem {
 		// from rt.Metrics() in their constructors.
 		rt.SetMetrics(opts.Metrics)
 	}
+	if opts.Clock != nil {
+		// Likewise before construction: services capture the runtime
+		// clock when they are built.
+		rt.SetClock(opts.Clock)
+	}
+	if opts.Retry.Clock == nil {
+		opts.Retry.Clock = rt.Clock()
+	}
 	ms := &Metasystem{
 		rt:       rt,
 		opts:     opts,
@@ -207,6 +221,7 @@ func New(domain string, opts Options) *Metasystem {
 		classes:  make(map[string]*classobj.Class),
 		rng:      rand.New(rand.NewSource(opts.Seed)),
 	}
+	ms.breakers.SetClock(rt.Clock().Now)
 	// Count breaker state transitions for the whole domain pool: trips
 	// (→open), recoveries (→closed), and probe admissions (→half-open).
 	reg := rt.Metrics()
@@ -478,7 +493,7 @@ func (ms *Metasystem) Migrate(ctx context.Context, class *classobj.Class, instan
 	}
 	tok := res.(proto.MakeReservationReply).Token
 	cancelTok := func() {
-		cctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), 5*time.Second)
+		cctx, cancel := ms.rt.Clock().WithTimeout(context.WithoutCancel(ctx), 5*time.Second)
 		defer cancel()
 		_, _ = ms.rt.Call(cctx, toHost, proto.MethodCancelReservation, proto.TokenArgs{Token: tok})
 	}
@@ -554,7 +569,7 @@ func (ms *Metasystem) reactivateInPlace(ctx context.Context, class *classobj.Cla
 		Instances: []loid.LOID{instance},
 		State:     state,
 	}); err != nil {
-		cctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), 5*time.Second)
+		cctx, cancel := ms.rt.Clock().WithTimeout(context.WithoutCancel(ctx), 5*time.Second)
 		defer cancel()
 		_, _ = ms.rt.Call(cctx, fromHost, proto.MethodCancelReservation, proto.TokenArgs{Token: rtok})
 		return fmt.Errorf("%w (and recovery reactivation failed: %v)", cause, err)
@@ -667,7 +682,7 @@ func (ms *Metasystem) EnsureRunning(ctx context.Context, class *classobj.Class, 
 			State:     best.state,
 		}); err != nil {
 			lastErr = err
-			cctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), 5*time.Second)
+			cctx, cancel := ms.rt.Clock().WithTimeout(context.WithoutCancel(ctx), 5*time.Second)
 			_, _ = ms.rt.Call(cctx, cand, proto.MethodCancelReservation, proto.TokenArgs{Token: tok})
 			cancel()
 			continue

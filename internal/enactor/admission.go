@@ -11,6 +11,7 @@ import (
 	"legion/internal/orb"
 	"legion/internal/proto"
 	"legion/internal/telemetry"
+	"legion/internal/vclock"
 )
 
 // admission is the Enactor's overload gate: a bounded set of in-flight
@@ -40,6 +41,7 @@ type admission struct {
 	q     *batchq.Queue // nil when admission control is disabled
 	slots int
 	depth int
+	clock vclock.Clock
 
 	mu        sync.Mutex
 	byDomain  map[string]int // queued waiters per requester domain
@@ -64,7 +66,7 @@ const ewmaAlpha = 0.2
 // newAdmission builds the gate from the Enactor's config; it returns a
 // disabled gate (admit everything, track nothing) when MaxInFlight <= 0.
 func newAdmission(rt *orb.Runtime, cfg Config) *admission {
-	a := &admission{byDomain: make(map[string]int)}
+	a := &admission{byDomain: make(map[string]int), clock: rt.Clock()}
 	reg := rt.Metrics()
 	a.met = admissionMetrics{
 		reg:      reg,
@@ -85,6 +87,7 @@ func newAdmission(rt *orb.Runtime, cfg Config) *admission {
 		Name:   "enactor-admission",
 		Slots:  a.slots,
 		Policy: batchq.Priority,
+		Clock:  a.clock,
 	})
 	return a
 }
@@ -115,7 +118,7 @@ func (a *admission) acquire(ctx context.Context, method, domain string, priority
 	if err := ctx.Err(); err != nil {
 		return nil, a.shed("expired", method, priority)
 	}
-	if dl, ok := ctx.Deadline(); ok && !dl.After(time.Now()) {
+	if dl, ok := ctx.Deadline(); ok && !dl.After(a.clock.Now()) {
 		return nil, a.shed("expired", method, priority)
 	}
 
@@ -154,16 +157,18 @@ func (a *admission) acquire(ctx context.Context, method, domain string, priority
 		// relative to the crowd).
 		if dl, ok := ctx.Deadline(); ok && a.ewmaSvcNs > 0 {
 			estWait := time.Duration(a.ewmaSvcNs * float64(st.Queued+1) / float64(a.slots))
-			if estWait > time.Until(dl) {
+			if estWait > a.clock.Until(dl) {
 				a.mu.Unlock()
 				return nil, a.shed("deadline", method, priority)
 			}
 		}
 	}
 	a.byDomain[domain]++
-	// Buffered so a synchronous dispatch inside Submit never blocks.
-	started := make(chan struct{}, 1)
-	id, err := a.q.Submit(method, priority, func(batchq.JobID) { started <- struct{}{} })
+	// A Gate never blocks the signaller, so a synchronous dispatch
+	// inside Submit is safe; in virtual mode parking on it releases the
+	// discrete-event barrier.
+	started := a.clock.NewGate()
+	id, err := a.q.Submit(method, priority, func(batchq.JobID) { started.Signal() })
 	a.mu.Unlock()
 	if err != nil {
 		a.exitQueue(domain)
@@ -171,10 +176,8 @@ func (a *admission) acquire(ctx context.Context, method, domain string, priority
 	}
 	a.met.queued.Set(int64(a.q.QueueLength()))
 
-	enqueued := time.Now()
-	select {
-	case <-started:
-	case <-ctx.Done():
+	enqueued := a.clock.Now()
+	if started.Wait(ctx) != nil {
 		// The caller gave up while queued (or mid-dispatch — Cancel
 		// handles both: a queued job is dropped, a just-started one has
 		// its slot freed). Either way nothing downstream ran.
@@ -186,18 +189,18 @@ func (a *admission) acquire(ctx context.Context, method, domain string, priority
 	}
 	a.exitQueue(domain)
 	a.met.admitted.Inc()
-	a.met.waitTime.ObserveSince(enqueued)
+	a.met.waitTime.Observe(a.clock.Since(enqueued).Seconds())
 	a.met.inflight.Set(int64(a.q.Stats().Running))
 	a.met.queued.Set(int64(a.q.QueueLength()))
 
-	startedAt := time.Now()
+	startedAt := a.clock.Now()
 	var once sync.Once
 	release := func() {
 		once.Do(func() {
 			_ = a.q.Complete(id)
 			_ = a.q.Forget(id)
 			a.mu.Lock()
-			sample := float64(time.Since(startedAt))
+			sample := float64(a.clock.Since(startedAt))
 			if a.ewmaSvcNs == 0 {
 				a.ewmaSvcNs = sample
 			} else {

@@ -13,6 +13,7 @@ import (
 	"legion/internal/proto"
 	"legion/internal/resilient"
 	"legion/internal/sched"
+	"legion/internal/vclock"
 )
 
 // waitUntil polls cond for up to 2s.
@@ -196,48 +197,64 @@ func TestAdmissionFairShare(t *testing.T) {
 // TestAdmissionDeadlineAwareShed verifies a queued-wait estimate beyond
 // the request's remaining deadline sheds immediately instead of queuing
 // work that will expire in line.
+// TestAdmissionDeadlineAwareShed runs the EWMA deadline-shed arithmetic
+// on the virtual clock: the doomed/roomy distinction is a deterministic
+// comparison of estimated wait against virtual deadlines, and the
+// queued-waiter handoff is serialized by the clock engine instead of
+// being poll-waited on the wall clock.
 func TestAdmissionDeadlineAwareShed(t *testing.T) {
 	e := newEnv(t, 1, nil)
+	vc := vclock.NewVirtual()
+	e.rt.SetClock(vc)
 	enr := New(e.rt, Config{CallTimeout: 5 * time.Second, MaxInFlight: 1, AdmissionQueue: 8})
 	a := enr.adm
-	ctx := context.Background()
 
-	holdRelease, err := a.acquire(ctx, "make_reservations", "d0", 0)
-	if err != nil {
-		t.Fatalf("slot acquire: %v", err)
-	}
-	defer holdRelease()
-
-	// Seed the service-time estimate: one second per call, one slot.
-	a.mu.Lock()
-	a.ewmaSvcNs = float64(time.Second)
-	a.mu.Unlock()
-
-	dctx, cancel := context.WithTimeout(ctx, 50*time.Millisecond)
-	defer cancel()
-	if _, err := a.acquire(dctx, "make_reservations", "d1", 0); !errors.Is(err, proto.ErrOverload) {
-		t.Fatalf("doomed-deadline acquire: %v, want ErrOverload", err)
-	}
-	if n := e.rt.Metrics().CounterValue("legion_admission_sheds_total", "reason", "deadline"); n != 1 {
-		t.Fatalf("deadline sheds = %v, want 1", n)
-	}
-
-	// A deadline with room to wait is queued, not shed.
-	roomy, cancel2 := context.WithTimeout(ctx, 10*time.Second)
-	defer cancel2()
-	done := make(chan error, 1)
-	go func() {
-		rel, aerr := a.acquire(roomy, "make_reservations", "d1", 0)
-		if aerr == nil {
-			rel()
+	vc.Run(func() {
+		ctx := context.Background()
+		holdRelease, err := a.acquire(ctx, "make_reservations", "d0", 0)
+		if err != nil {
+			t.Errorf("slot acquire: %v", err)
+			return
 		}
-		done <- aerr
-	}()
-	waitUntil(t, "roomy waiter queued", func() bool { return a.q.QueueLength() == 1 })
-	holdRelease()
-	if aerr := <-done; aerr != nil {
-		t.Fatalf("roomy waiter shed: %v", aerr)
-	}
+
+		// Seed the service-time estimate: one second per call, one slot.
+		a.mu.Lock()
+		a.ewmaSvcNs = float64(time.Second)
+		a.mu.Unlock()
+
+		dctx, cancel := vc.WithTimeout(ctx, 50*time.Millisecond)
+		defer cancel()
+		if _, err := a.acquire(dctx, "make_reservations", "d1", 0); !errors.Is(err, proto.ErrOverload) {
+			t.Errorf("doomed-deadline acquire: %v, want ErrOverload", err)
+		}
+		if n := e.rt.Metrics().CounterValue("legion_admission_sheds_total", "reason", "deadline"); n != 1 {
+			t.Errorf("deadline sheds = %v, want 1", n)
+		}
+
+		// A deadline with room to wait is queued, not shed.
+		roomy, cancel2 := vc.WithTimeout(ctx, 10*time.Second)
+		defer cancel2()
+		done := make(chan error, 1)
+		vc.Go(func() {
+			rel, aerr := a.acquire(roomy, "make_reservations", "d1", 0)
+			if aerr == nil {
+				rel()
+			}
+			done <- aerr
+		})
+		// One virtual millisecond: the engine starts the waiter, which
+		// enqueues and parks, before this sleep returns.
+		if err := vc.Sleep(ctx, time.Millisecond); err != nil {
+			t.Errorf("sleep: %v", err)
+		}
+		if n := a.q.QueueLength(); n != 1 {
+			t.Errorf("queue length = %d, want 1", n)
+		}
+		holdRelease()
+		if aerr := <-done; aerr != nil {
+			t.Errorf("roomy waiter shed: %v", aerr)
+		}
+	})
 }
 
 // TestShedEnactDoesNotPoisonIdempotency: an enact_schedule shed by the

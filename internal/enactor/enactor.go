@@ -293,7 +293,7 @@ func (e *Enactor) makeReservations(ctx context.Context, request sched.RequestLis
 	}()
 
 	e.mu.Lock()
-	e.reapLocked(time.Now())
+	e.reapLocked(e.rt.Clock().Now())
 	e.mu.Unlock()
 
 	fb := sched.Feedback{Request: request, MasterIndex: -1}
@@ -328,7 +328,7 @@ func (e *Enactor) makeReservations(ctx context.Context, request sched.RequestLis
 			fb.VariantsApplied = applied
 			e.mu.Lock()
 			e.requests[request.ID] = &heldRequest{
-				resolved: resolved, tokens: tokens, reserved: time.Now(),
+				resolved: resolved, tokens: tokens, reserved: e.rt.Clock().Now(),
 				priority: request.Res.Priority, domain: domain,
 			}
 			e.mu.Unlock()
@@ -631,7 +631,7 @@ func (e *Enactor) rollback(ctx context.Context, req *heldRequest, created [][]lo
 	// exists to reclaim. Trace/span values are kept; only the
 	// cancellation signal is dropped, re-bounded by a cleanup budget.
 	var cancel context.CancelFunc
-	ctx, cancel = context.WithTimeout(context.WithoutCancel(ctx), 30*time.Second)
+	ctx, cancel = e.rt.Clock().WithTimeout(context.WithoutCancel(ctx), 30*time.Second)
 	defer cancel()
 	ctx, span := e.met.spans.StartIn(ctx, "enactor/rollback", e.met.domain)
 	defer span.Finish(nil)
@@ -719,7 +719,7 @@ func (e *Enactor) reapLocked(now time.Time) int {
 func (e *Enactor) ReapRequests() int {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return e.reapLocked(time.Now())
+	return e.reapLocked(e.rt.Clock().Now())
 }
 
 // requestClass reports the admission class (priority, requester domain)

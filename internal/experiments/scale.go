@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"legion/internal/core"
+	"legion/internal/resilient"
+	"legion/internal/sim"
+	"legion/internal/telemetry"
+	"legion/internal/vclock"
+)
+
+// E12VirtualScale drives a large synthetic metasystem through the real
+// placement pipeline under the deterministic discrete-event clock: every
+// timer, deadline, backoff, and injected link delay runs in virtual
+// time, so a 100k-host, 1M-placement campaign that would occupy a
+// wide-area testbed for hours executes in one process in minutes of
+// wall-clock — with latency percentiles measured on the virtual clock,
+// where they are exact properties of the model rather than artifacts of
+// the harness machine.
+//
+// The paper's own evaluation stopped at a multi-site testbed of tens of
+// machines; its design sections argue the architecture scales far
+// beyond that ("scheduling in metasystems is a hard problem ... millions
+// of hosts", §1). This experiment is the closest executable form of that
+// claim: the production Scheduler/Enactor/Host negotiation, a 2ms±1ms
+// synthetic wide-area link on every method call, an open-loop Poisson
+// arrival process, and a post-run conservation audit (no reservation or
+// instance may survive the drain).
+//
+// hosts/requests <= 0 default to 100,000 hosts and 1,000,000 placements
+// (the committed EXPERIMENTS.md row); CI runs a reduced 10k/50k row.
+func E12VirtualScale(hosts, requests int) *Table {
+	if hosts <= 0 {
+		hosts = 100_000
+	}
+	if requests <= 0 {
+		requests = 1_000_000
+	}
+	t := &Table{
+		ID:    "E12",
+		Title: "Virtual-time scale: open-loop placements through the real pipeline",
+		Header: []string{"hosts", "requests", "ok", "shed", "failed",
+			"p50", "p99", "p999", "goodput/vs", "vtime", "wall", "leaks", "MB", "B/host"},
+	}
+
+	vc := vclock.NewVirtual()
+	reg := telemetry.NewRegistry()
+	ms := core.New("scale", core.Options{
+		Seed:    12,
+		Metrics: reg,
+		Clock:   vc,
+		Retry: resilient.Policy{
+			MaxAttempts: 2, BaseDelay: 5 * time.Millisecond,
+			Budget: 5 * time.Second, AttemptTimeout: 2 * time.Second,
+			Clock: vc, JitterRand: resilient.NewLockedRand(12),
+		},
+	})
+	class := ms.DefineClass("Worker", nil)
+
+	rng := rand.New(rand.NewSource(12))
+	fleet := sim.Build(ms, rng, sim.RandomSpecs(rng, hosts, "z1", "z2", "z3", "z4"))
+
+	// Bytes per host: heap growth across the fleet build, which covers
+	// the Host object, its attribute database, its reservation table,
+	// and its Collection record.
+	runtime.GC()
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	heapMB := float64(m.HeapAlloc) / (1 << 20)
+	perHost := float64(m.HeapAlloc) / float64(hosts)
+
+	// 2ms±1ms virtual link latency on every method call: placement
+	// latency becomes a count of negotiation round-trips, measured
+	// exactly in virtual time.
+	ms.Runtime().SetLatency(2*time.Millisecond, time.Millisecond)
+
+	var res *sim.DriverResult
+	wall0 := time.Now()
+	vc.Run(func() {
+		res = fleet.Drive(context.Background(), class, sim.DriverConfig{
+			Clock:       vc,
+			Rate:        2000,
+			Requests:    requests,
+			Arrivals:    sim.Poisson,
+			Seed:        12,
+			Deadline:    10 * time.Second,
+			SnapshotTTL: 10 * time.Second,
+		})
+	})
+	wall := time.Since(wall0)
+
+	// Conservation audit: the drain must leave an empty metasystem.
+	leaks := 0
+	for _, h := range fleet.Hosts {
+		leaks += h.ActiveReservations() + h.RunningCount()
+	}
+
+	t.AddRow(hosts, requests, res.Succeeded, res.Shed, res.Failed,
+		res.Percentile(0.50), res.Percentile(0.99), res.Percentile(0.999),
+		fmt.Sprintf("%.0f", res.Goodput()),
+		res.Elapsed.Round(time.Millisecond), wall.Round(time.Millisecond),
+		leaks, fmt.Sprintf("%.0f", heapMB), fmt.Sprintf("%.0f", perHost))
+	t.Notes = append(t.Notes,
+		"single process, deterministic discrete-event clock (internal/vclock); latencies are virtual time",
+		"2ms±1ms synthetic link latency per method call; Poisson arrivals at 2000 req/virtual-second",
+		fmt.Sprintf("host snapshots cached 10 virtual seconds: %d hits / %d misses", res.CacheHits, res.CacheMisses),
+		"leaks = active reservations + running instances after the drain (must be 0)",
+		"MB = heap after fleet build; B/host = heap bytes per built host")
+	return t
+}

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"os"
+	"strconv"
+	"testing"
+	"time"
+)
+
+// testWriter adapts t.Log to the Table printer.
+type testWriter struct{ t *testing.T }
+
+func (w testWriter) Write(p []byte) (int, error) { w.t.Log(string(p)); return len(p), nil }
+
+// TestE12ReducedScale is the CI-sized E12: 10k hosts, 50k placements
+// through the real pipeline on the virtual clock (the committed
+// EXPERIMENTS.md row is the 100k/1M run; regenerate it with
+// `legion-bench -virtual`). The conservation audit inside
+// E12VirtualScale feeds the leaks column; this test asserts it.
+func TestE12ReducedScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	hosts, requests := 10_000, 50_000
+	if v := os.Getenv("LEGION_E12_HOSTS"); v != "" {
+		hosts, _ = strconv.Atoi(v)
+	}
+	if v := os.Getenv("LEGION_E12_REQUESTS"); v != "" {
+		requests, _ = strconv.Atoi(v)
+	}
+	start := time.Now()
+	tb := E12VirtualScale(hosts, requests)
+	t.Logf("wall: %v", time.Since(start))
+	tb.Fprint(testWriter{t})
+
+	if len(tb.Rows) != 1 {
+		t.Fatalf("rows = %d, want 1", len(tb.Rows))
+	}
+	row := tb.Rows[0]
+	// Header: hosts requests ok shed failed p50 p99 p999 goodput/vs vtime wall leaks MB B/host
+	atoi := func(i int) int {
+		n, err := strconv.Atoi(row[i])
+		if err != nil {
+			t.Fatalf("cell %d (%s) = %q, not an int", i, tb.Header[i], row[i])
+		}
+		return n
+	}
+	ok, shed, failed := atoi(2), atoi(3), atoi(4)
+	if ok+shed+failed != requests {
+		t.Errorf("accounting hole: ok %d + shed %d + failed %d != offered %d", ok, shed, failed, requests)
+	}
+	if ok == 0 {
+		t.Error("zero successful placements")
+	}
+	if leaks := atoi(11); leaks != 0 {
+		t.Errorf("conservation audit: %d leaked reservations/instances", leaks)
+	}
+}

@@ -252,14 +252,15 @@ func New(rt *orb.Runtime, cfg Config) *Host {
 		}
 	}
 	h := &Host{
-		ServiceObject: orb.NewServiceObject(rt.Mint("Host")),
+		ServiceObject: orb.NewSharedServiceObject(rt.Mint("Host"), hostMethods(), nil),
 		rt:            rt,
 		cfg:           cfg,
 		policy:        cfg.Policy,
 		table:         nil, // set below, needs LOID
 		running:       make(map[loid.LOID]*runningObject),
-		now:           time.Now,
+		now:           rt.Clock().Now,
 	}
+	h.BindReceiver(h)
 	h.table = reservation.NewTable(h.LOID(), cfg.MaxShared, cfg.ReservationTimeout)
 	h.met = newHostMetrics(rt)
 	// All Hosts on one runtime share the aggregate occupancy gauge; the
@@ -288,7 +289,6 @@ func New(rt *orb.Runtime, cfg Config) *Host {
 	}
 	h.attrs.Set("host_vaults", attr.Strings(vaultStrs...))
 	h.attrs.Merge(cfg.ExtraAttrs)
-	h.installMethods()
 	rt.Register(h)
 	return h
 }
@@ -430,21 +430,16 @@ func (h *Host) Reassess(ctx context.Context) {
 // StartReassessing runs Reassess every interval until the returned stop
 // function is called.
 func (h *Host) StartReassessing(interval time.Duration) (stop func()) {
-	done := make(chan struct{})
-	var once sync.Once
-	go func() {
-		t := time.NewTicker(interval)
+	clock := h.rt.Clock()
+	ctx, cancel := context.WithCancel(context.Background())
+	clock.Go(func() {
+		t := clock.NewTicker(interval)
 		defer t.Stop()
-		for {
-			select {
-			case <-t.C:
-				h.Reassess(context.Background())
-			case <-done:
-				return
-			}
+		for t.Wait(ctx) == nil {
+			h.Reassess(context.Background())
 		}
-	}()
-	return func() { once.Do(func() { close(done) }) }
+	})
+	return cancel
 }
 
 // ReapReservations reclaims expired and orphaned (granted but never
@@ -495,21 +490,16 @@ func (h *Host) IsRunning(instance loid.LOID) bool {
 // StartReaper runs ReapReservations every interval until the returned
 // stop function is called.
 func (h *Host) StartReaper(interval time.Duration) (stop func()) {
-	done := make(chan struct{})
-	var once sync.Once
-	go func() {
-		t := time.NewTicker(interval)
+	clock := h.rt.Clock()
+	ctx, cancel := context.WithCancel(context.Background())
+	clock.Go(func() {
+		t := clock.NewTicker(interval)
 		defer t.Stop()
-		for {
-			select {
-			case <-t.C:
-				h.ReapReservations()
-			case <-done:
-				return
-			}
+		for t.Wait(ctx) == nil {
+			h.ReapReservations()
 		}
-	}()
-	return func() { once.Do(func() { close(done) }) }
+	})
+	return cancel
 }
 
 // --- Reservation management (Table 1, column 1) ---
@@ -600,7 +590,7 @@ func (h *Host) CompatibleVaults() []loid.LOID {
 // instance is submitted as a job and this call blocks until dispatch (or
 // ctx cancellation).
 func (h *Host) StartObject(ctx context.Context, req proto.StartObjectArgs) (_ []loid.LOID, err error) {
-	start := time.Now()
+	start := time.Now() // wall time: telemetry histograms measure real cost
 	ctx, span := h.met.spans.StartIn(ctx, "host/startObject", h.met.domain)
 	defer func() {
 		span.Finish(err)
@@ -656,26 +646,24 @@ func (h *Host) activate(ctx context.Context, inst, class loid.LOID, tok reservat
 		return nil
 	}
 
-	dispatched := make(chan batchq.JobID, 1)
+	dispatched := h.rt.Clock().NewGate()
 	jobID, err := h.cfg.Queue.Submit(inst.String(), 0, func(id batchq.JobID) {
-		dispatched <- id
+		dispatched.Signal()
 	})
 	if err != nil {
 		return fmt.Errorf("%w: %v", ErrQueueRejected, err)
 	}
 	ro.job = jobID
 	ro.queued = true
-	select {
-	case <-dispatched:
-		h.rt.Register(obj)
-		h.mu.Lock()
-		h.running[inst] = ro
-		h.mu.Unlock()
-		return nil
-	case <-ctx.Done():
+	if err := dispatched.Wait(ctx); err != nil {
 		_ = h.cfg.Queue.Cancel(jobID)
-		return fmt.Errorf("host: batch dispatch: %w", ctx.Err())
+		return fmt.Errorf("host: batch dispatch: %w", err)
 	}
+	h.rt.Register(obj)
+	h.mu.Lock()
+	h.running[inst] = ro
+	h.mu.Unlock()
+	return nil
 }
 
 // KillObject destroys a running instance: it is unregistered from the
@@ -782,8 +770,23 @@ func (h *Host) Drain(ctx context.Context) ([]loid.LOID, error) {
 
 // --- orb protocol wiring ---
 
-func (h *Host) installMethods() {
-	h.Handle(proto.MethodMakeReservation, func(ctx context.Context, arg any) (any, error) {
+// hostMethods builds (once) the class-wide dispatch table every Host
+// shares. At 100k hosts the per-instance method map this replaces was
+// the single largest Host allocation.
+var (
+	hostTableOnce sync.Once
+	hostTable     *orb.DispatchTable
+)
+
+func hostMethods() *orb.DispatchTable {
+	hostTableOnce.Do(func() { hostTable = buildHostMethods() })
+	return hostTable
+}
+
+func buildHostMethods() *orb.DispatchTable {
+	t := orb.NewDispatchTable()
+	t.Handle(proto.MethodMakeReservation, func(ctx context.Context, recv, arg any) (any, error) {
+		h := recv.(*Host)
 		a, ok := arg.(proto.MakeReservationArgs)
 		if !ok {
 			return nil, fmt.Errorf("host: want MakeReservationArgs, got %T", arg)
@@ -794,7 +797,8 @@ func (h *Host) installMethods() {
 		}
 		return proto.MakeReservationReply{Token: *tok}, nil
 	})
-	h.Handle(proto.MethodCheckReservation, func(_ context.Context, arg any) (any, error) {
+	t.Handle(proto.MethodCheckReservation, func(_ context.Context, recv, arg any) (any, error) {
+		h := recv.(*Host)
 		a, ok := arg.(proto.TokenArgs)
 		if !ok {
 			return nil, fmt.Errorf("host: want TokenArgs, got %T", arg)
@@ -804,7 +808,8 @@ func (h *Host) installMethods() {
 		}
 		return proto.BoolReply{OK: true}, nil
 	})
-	h.Handle(proto.MethodCancelReservation, func(_ context.Context, arg any) (any, error) {
+	t.Handle(proto.MethodCancelReservation, func(_ context.Context, recv, arg any) (any, error) {
+		h := recv.(*Host)
 		a, ok := arg.(proto.TokenArgs)
 		if !ok {
 			return nil, fmt.Errorf("host: want TokenArgs, got %T", arg)
@@ -814,7 +819,8 @@ func (h *Host) installMethods() {
 		}
 		return proto.Ack{}, nil
 	})
-	h.Handle(proto.MethodStartObject, func(ctx context.Context, arg any) (any, error) {
+	t.Handle(proto.MethodStartObject, func(ctx context.Context, recv, arg any) (any, error) {
+		h := recv.(*Host)
 		a, ok := arg.(proto.StartObjectArgs)
 		if !ok {
 			return nil, fmt.Errorf("host: want StartObjectArgs, got %T", arg)
@@ -825,7 +831,8 @@ func (h *Host) installMethods() {
 		}
 		return proto.StartObjectReply{Started: started}, nil
 	})
-	h.Handle(proto.MethodKillObject, func(ctx context.Context, arg any) (any, error) {
+	t.Handle(proto.MethodKillObject, func(ctx context.Context, recv, arg any) (any, error) {
+		h := recv.(*Host)
 		a, ok := arg.(proto.ObjectArgs)
 		if !ok {
 			return nil, fmt.Errorf("host: want ObjectArgs, got %T", arg)
@@ -835,7 +842,8 @@ func (h *Host) installMethods() {
 		}
 		return proto.Ack{}, nil
 	})
-	h.Handle(proto.MethodDeactivateObject, func(ctx context.Context, arg any) (any, error) {
+	t.Handle(proto.MethodDeactivateObject, func(ctx context.Context, recv, arg any) (any, error) {
+		h := recv.(*Host)
 		a, ok := arg.(proto.ObjectArgs)
 		if !ok {
 			return nil, fmt.Errorf("host: want ObjectArgs, got %T", arg)
@@ -846,10 +854,11 @@ func (h *Host) installMethods() {
 		}
 		return proto.DeactivateReply{OPR: o, Vault: vaultL}, nil
 	})
-	h.Handle(proto.MethodGetCompatibleVaults, func(_ context.Context, _ any) (any, error) {
-		return proto.CompatibleVaultsReply{Vaults: h.CompatibleVaults()}, nil
+	t.Handle(proto.MethodGetCompatibleVaults, func(_ context.Context, recv, _ any) (any, error) {
+		return proto.CompatibleVaultsReply{Vaults: recv.(*Host).CompatibleVaults()}, nil
 	})
-	h.Handle(proto.MethodVaultOK, func(ctx context.Context, arg any) (any, error) {
+	t.Handle(proto.MethodVaultOK, func(ctx context.Context, recv, arg any) (any, error) {
+		h := recv.(*Host)
 		a, ok := arg.(proto.VaultOKArgs)
 		if !ok {
 			return nil, fmt.Errorf("host: want VaultOKArgs, got %T", arg)
@@ -859,10 +868,11 @@ func (h *Host) installMethods() {
 		}
 		return proto.BoolReply{OK: true}, nil
 	})
-	h.Handle(proto.MethodGetAttributes, func(_ context.Context, _ any) (any, error) {
-		return proto.AttributesReply{Attrs: h.Attributes()}, nil
+	t.Handle(proto.MethodGetAttributes, func(_ context.Context, recv, _ any) (any, error) {
+		return proto.AttributesReply{Attrs: recv.(*Host).Attributes()}, nil
 	})
-	h.Handle(proto.MethodDefineTrigger, func(_ context.Context, arg any) (any, error) {
+	t.Handle(proto.MethodDefineTrigger, func(_ context.Context, recv, arg any) (any, error) {
+		h := recv.(*Host)
 		a, ok := arg.(proto.DefineTriggerArgs)
 		if !ok {
 			return nil, fmt.Errorf("host: want DefineTriggerArgs, got %T", arg)
@@ -872,7 +882,8 @@ func (h *Host) installMethods() {
 		}
 		return proto.Ack{}, nil
 	})
-	h.Handle(proto.MethodRegisterOutcall, func(_ context.Context, arg any) (any, error) {
+	t.Handle(proto.MethodRegisterOutcall, func(_ context.Context, recv, arg any) (any, error) {
+		h := recv.(*Host)
 		a, ok := arg.(proto.RegisterOutcallArgs)
 		if !ok {
 			return nil, fmt.Errorf("host: want RegisterOutcallArgs, got %T", arg)
@@ -884,7 +895,7 @@ func (h *Host) installMethods() {
 		h.trigs.RegisterOutcallKeyed(a.Trigger, monitor.String(), func(ev rge.Event) {
 			// The outcall is a method invocation on the Monitor; failures
 			// are tolerated (the Monitor may be down).
-			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			ctx, cancel := h.rt.Clock().WithTimeout(context.Background(), 10*time.Second)
 			defer cancel()
 			_, _ = h.rt.Call(ctx, monitor, proto.MethodNotify, proto.NotifyArgs{
 				Source:  ev.Source,
@@ -895,4 +906,5 @@ func (h *Host) installMethods() {
 		})
 		return proto.Ack{}, nil
 	})
+	return t
 }

@@ -39,44 +39,68 @@ type genericState struct {
 
 func init() { orb.RegisterWireType(genericState{}) }
 
+// genericMethods is the class-wide dispatch table all GenericObjects
+// share. Placement experiments create (and destroy) one GenericObject
+// per placed instance — millions per scale run — so the per-instance
+// closures this replaces were the dominant activation allocation. The
+// payload map is likewise deferred until the first "set".
+var (
+	genericTableOnce sync.Once
+	genericTable     *orb.DispatchTable
+)
+
+func genericMethods() *orb.DispatchTable {
+	genericTableOnce.Do(func() {
+		t := orb.NewDispatchTable()
+		t.Handle("ping", func(_ context.Context, recv, _ any) (any, error) {
+			g := recv.(*GenericObject)
+			g.mu.Lock()
+			g.pings++
+			g.mu.Unlock()
+			return "pong", nil
+		})
+		t.Handle("get", func(_ context.Context, recv, arg any) (any, error) {
+			key, ok := arg.(string)
+			if !ok {
+				return nil, fmt.Errorf("object: want string key, got %T", arg)
+			}
+			g := recv.(*GenericObject)
+			g.mu.Lock()
+			defer g.mu.Unlock()
+			return g.payload[key], nil
+		})
+		t.Handle("set", func(_ context.Context, recv, arg any) (any, error) {
+			kv, ok := arg.([]string)
+			if !ok || len(kv) != 2 {
+				return nil, fmt.Errorf("object: want [key, value], got %T", arg)
+			}
+			g := recv.(*GenericObject)
+			g.mu.Lock()
+			if g.payload == nil {
+				g.payload = make(map[string]string)
+			}
+			g.payload[kv[0]] = kv[1]
+			g.mu.Unlock()
+			return nil, nil
+		})
+		genericTable = t
+	})
+	return genericTable
+}
+
 // NewGenericObject creates a GenericObject for the instance, restoring
 // from the OPR when non-nil.
 func NewGenericObject(instance, class loid.LOID, state *opr.OPR) (*GenericObject, error) {
 	g := &GenericObject{
-		ServiceObject: orb.NewServiceObject(instance),
+		ServiceObject: orb.NewSharedServiceObject(instance, genericMethods(), nil),
 		class:         class,
-		payload:       make(map[string]string),
 	}
+	g.BindReceiver(g)
 	if state != nil {
 		if err := g.RestoreState(state); err != nil {
 			return nil, err
 		}
 	}
-	g.Handle("ping", func(_ context.Context, _ any) (any, error) {
-		g.mu.Lock()
-		g.pings++
-		g.mu.Unlock()
-		return "pong", nil
-	})
-	g.Handle("get", func(_ context.Context, arg any) (any, error) {
-		key, ok := arg.(string)
-		if !ok {
-			return nil, fmt.Errorf("object: want string key, got %T", arg)
-		}
-		g.mu.Lock()
-		defer g.mu.Unlock()
-		return g.payload[key], nil
-	})
-	g.Handle("set", func(_ context.Context, arg any) (any, error) {
-		kv, ok := arg.([]string)
-		if !ok || len(kv) != 2 {
-			return nil, fmt.Errorf("object: want [key, value], got %T", arg)
-		}
-		g.mu.Lock()
-		g.payload[kv[0]] = kv[1]
-		g.mu.Unlock()
-		return nil, nil
-	})
 	return g, nil
 }
 
@@ -103,9 +127,12 @@ func (g *GenericObject) Generation() int {
 func (g *GenericObject) SaveState() (any, error) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	p := make(map[string]string, len(g.payload))
-	for k, v := range g.payload {
-		p[k] = v
+	var p map[string]string
+	if len(g.payload) > 0 {
+		p = make(map[string]string, len(g.payload))
+		for k, v := range g.payload {
+			p[k] = v
+		}
 	}
 	return genericState{Payload: p, Pings: g.pings, Generation: g.generation}, nil
 }
@@ -119,9 +146,6 @@ func (g *GenericObject) RestoreState(state *opr.OPR) error {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	g.payload = s.Payload
-	if g.payload == nil {
-		g.payload = make(map[string]string)
-	}
 	g.pings = s.Pings
 	g.generation = s.Generation + 1
 	return nil

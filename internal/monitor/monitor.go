@@ -217,7 +217,7 @@ func (m *Monitor) Watch(ctx context.Context, hostL loid.LOID, trigger, guard str
 	cctx := ctx
 	if _, hasDeadline := ctx.Deadline(); !hasDeadline {
 		var cancel context.CancelFunc
-		cctx, cancel = context.WithTimeout(ctx, 30*time.Second)
+		cctx, cancel = m.rt.Clock().WithTimeout(ctx, 30*time.Second)
 		defer cancel()
 	}
 	// Loopback calls dispatch without consulting the context, so an

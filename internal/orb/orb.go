@@ -34,6 +34,7 @@ import (
 
 	"legion/internal/loid"
 	"legion/internal/telemetry"
+	"legion/internal/vclock"
 )
 
 // Object is an active Legion object that can receive method calls.
@@ -102,6 +103,7 @@ type Runtime struct {
 	jitter  time.Duration
 	tracer  CallTracer
 	metrics *telemetry.Registry
+	clock   vclock.Clock
 
 	rngMu sync.Mutex
 	rng   *rand.Rand
@@ -120,6 +122,7 @@ func NewRuntime(domain string) *Runtime {
 		clients: make(map[string]*tcpClient),
 		rng:     rand.New(rand.NewSource(1)),
 		metrics: telemetry.Default,
+		clock:   vclock.Wall,
 	}
 }
 
@@ -234,24 +237,44 @@ func (rt *Runtime) Metrics() *telemetry.Registry {
 	return rt.metrics
 }
 
+// SetClock replaces the runtime's time source (by default the wall
+// clock). The runtime is the distribution point: services built on it
+// read the clock here, so install a virtual clock before constructing
+// them. nil restores the wall clock.
+func (rt *Runtime) SetClock(c vclock.Clock) {
+	rt.hooksMu.Lock()
+	defer rt.hooksMu.Unlock()
+	rt.clock = vclock.Default(c)
+}
+
+// Clock returns the runtime's time source.
+func (rt *Runtime) Clock() vclock.Clock {
+	rt.hooksMu.RLock()
+	defer rt.hooksMu.RUnlock()
+	return rt.clock
+}
+
 // Call synchronously invokes method on the object named target, passing
 // arg and returning the method's result. It consults, in order: the fault
 // injector, the local object table, the per-LOID remote bindings, and the
 // per-domain bindings. Call honors ctx cancellation for remote calls and
 // latency simulation; local dispatch runs on the caller's goroutine.
 func (rt *Runtime) Call(ctx context.Context, target loid.LOID, method string, arg any) (any, error) {
-	start := time.Now()
-	res, err := rt.call(ctx, target, method, arg)
+	rt.hooksMu.RLock()
+	clock := rt.clock
+	rt.hooksMu.RUnlock()
+	start := clock.Now()
+	res, err := rt.call(ctx, clock, target, method, arg)
 	rt.hooksMu.RLock()
 	tracer := rt.tracer
 	rt.hooksMu.RUnlock()
 	if tracer != nil {
-		tracer(rt.name, target, method, time.Since(start), err)
+		tracer(rt.name, target, method, clock.Since(start), err)
 	}
 	return res, err
 }
 
-func (rt *Runtime) call(ctx context.Context, target loid.LOID, method string, arg any) (any, error) {
+func (rt *Runtime) call(ctx context.Context, clock vclock.Clock, target loid.LOID, method string, arg any) (any, error) {
 	if target.IsNil() {
 		return nil, fmt.Errorf("%w: nil LOID", ErrNotBound)
 	}
@@ -271,10 +294,8 @@ func (rt *Runtime) call(ctx context.Context, target loid.LOID, method string, ar
 			d += time.Duration(rt.rng.Int63n(int64(jitter) + 1))
 			rt.rngMu.Unlock()
 		}
-		select {
-		case <-time.After(d):
-		case <-ctx.Done():
-			return nil, ctx.Err()
+		if err := clock.Sleep(ctx, d); err != nil {
+			return nil, err
 		}
 	}
 

@@ -46,6 +46,7 @@ import (
 	"legion/internal/loid"
 	"legion/internal/proto"
 	"legion/internal/telemetry"
+	"legion/internal/vclock"
 )
 
 // Move is one planned migration: put Instance of Class on (ToHost,
@@ -89,19 +90,22 @@ type Config struct {
 	QueueDepth int
 	// PlanTimeout bounds one event's plan+migrate episode (default 30s).
 	PlanTimeout time.Duration
-	// Clock overrides time for cooldown/rate-limit bookkeeping (tests).
-	Clock func() time.Time
+	// Clock overrides the time source for cooldown/rate-limit
+	// bookkeeping, plan deadlines, and the reconcile sweep; nil means
+	// the metasystem runtime's clock.
+	Clock vclock.Clock
 }
 
 // Rebalancer owns the monitor→migrate arc for a metasystem.
 type Rebalancer struct {
-	ms  *core.Metasystem
-	cfg Config
-	now func() time.Time
+	ms    *core.Metasystem
+	cfg   Config
+	clock vclock.Clock
+	now   func() time.Time
 
 	mu        sync.Mutex
 	started   bool
-	stopMon   func()     // detaches the OnEventAsync subscription
+	stopMon   func() // detaches the OnEventAsync subscription
 	stopSweep chan struct{}
 	sweepWG   sync.WaitGroup
 	lastShed  map[loid.LOID]time.Time // source host -> last successful shed
@@ -136,14 +140,16 @@ func New(ms *core.Metasystem, cfg Config) *Rebalancer {
 	if cfg.PlanTimeout <= 0 {
 		cfg.PlanTimeout = 30 * time.Second
 	}
-	now := cfg.Clock
-	if now == nil {
-		now = time.Now
+	clock := cfg.Clock
+	if clock == nil {
+		clock = ms.Runtime().Clock()
 	}
+	now := clock.Now
 	reg := ms.Runtime().Metrics()
 	r := &Rebalancer{
 		ms:          ms,
 		cfg:         cfg,
+		clock:       clock,
 		now:         now,
 		lastShed:    make(map[loid.LOID]time.Time),
 		inflight:    make(map[loid.LOID]bool),
@@ -188,22 +194,19 @@ func (r *Rebalancer) StartSweeping(interval time.Duration) {
 	}
 	stop := make(chan struct{})
 	r.stopSweep = stop
+	sctx, scancel := context.WithCancel(context.Background())
+	go func() { <-stop; scancel() }()
 	r.sweepWG.Add(1)
-	go func() {
+	r.clock.Go(func() {
 		defer r.sweepWG.Done()
-		t := time.NewTicker(interval)
+		t := r.clock.NewTicker(interval)
 		defer t.Stop()
-		for {
-			select {
-			case <-t.C:
-				ctx, cancel := context.WithTimeout(context.Background(), r.cfg.PlanTimeout)
-				_ = r.Reconcile(ctx)
-				cancel()
-			case <-stop:
-				return
-			}
+		for t.Wait(sctx) == nil {
+			ctx, cancel := r.clock.WithTimeout(context.Background(), r.cfg.PlanTimeout)
+			_ = r.Reconcile(ctx)
+			cancel()
 		}
-	}()
+	})
 }
 
 // Stop detaches from the Monitor and halts the reconcile sweep. Any
@@ -237,7 +240,7 @@ func (r *Rebalancer) handle(ev proto.NotifyArgs) {
 		return
 	}
 
-	ctx, cancel := context.WithTimeout(context.Background(), r.cfg.PlanTimeout)
+	ctx, cancel := r.clock.WithTimeout(context.Background(), r.cfg.PlanTimeout)
 	defer cancel()
 	ctx, span := r.spans.StartIn(ctx, "rebalance/handle_event", r.ms.Domain())
 
@@ -309,9 +312,9 @@ func (r *Rebalancer) execute(ctx context.Context, moves []Move) int {
 			return
 		}
 		mctx, span := r.spans.StartIn(ctx, "rebalance/migrate", r.ms.Domain())
-		start := time.Now()
+		start := r.now()
 		err := r.ms.Migrate(mctx, m.Class, m.Instance, m.ToHost, m.ToVault)
-		r.migSeconds.ObserveSince(start)
+		r.migSeconds.Observe(r.clock.Since(start).Seconds())
 		span.Finish(err)
 		if err != nil {
 			r.migrationsF.Inc()

@@ -3,7 +3,6 @@ package rebalance
 import (
 	"context"
 	"errors"
-	"sync"
 	"testing"
 	"time"
 
@@ -14,6 +13,7 @@ import (
 	"legion/internal/proto"
 	"legion/internal/telemetry"
 	"legion/internal/vault"
+	"legion/internal/vclock"
 )
 
 // buildMeta assembles a metasystem with nHosts hosts sharing nVaults
@@ -110,10 +110,11 @@ func TestCooldownSuppressesRepeatShedding(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	now := time.Unix(1000, 0)
-	var clockMu sync.Mutex
-	clock := func() time.Time { clockMu.Lock(); defer clockMu.Unlock(); return now }
-	r := New(ms, Config{Classes: []*classobj.Class{c}, Cooldown: time.Minute, Clock: clock})
+	// Virtual clock (epoch anchored near wall time so stdlib-derived
+	// deadlines downstream stay sane); the test advances it directly
+	// instead of sleeping through the cooldown window.
+	vc := vclock.NewVirtual()
+	r := New(ms, Config{Classes: []*classobj.Class{c}, Cooldown: time.Minute, Clock: vc})
 
 	src := ms.Hosts()[0].LOID()
 	ev := proto.NotifyArgs{Source: src, Trigger: "overload"}
@@ -131,9 +132,7 @@ func TestCooldownSuppressesRepeatShedding(t *testing.T) {
 	if n := reg.CounterValue("legion_rebalance_migrations_total", "result", "ok"); n != migrated {
 		t.Errorf("migrated during cooldown: %d -> %d", migrated, n)
 	}
-	clockMu.Lock()
-	now = now.Add(2 * time.Minute)
-	clockMu.Unlock()
+	vc.Advance(2 * time.Minute)
 	r.handle(ev) // window passed: acts again
 	if n := reg.CounterValue("legion_rebalance_migrations_total", "result", "ok"); n <= migrated {
 		t.Errorf("no migration after cooldown expiry: %d", n)
@@ -150,13 +149,13 @@ func TestRateLimitBoundsChurn(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	now := time.Unix(1000, 0) // frozen clock: the bucket never refills
+	// Virtual clock, never advanced: the bucket never refills.
 	r := New(ms, Config{
 		Classes:       []*classobj.Class{c},
 		Cooldown:      -1,
 		MaxConcurrent: 1, // burst = 1
 		RatePerSec:    0.001,
-		Clock:         func() time.Time { return now },
+		Clock:         vclock.NewVirtual(),
 		Policy:        &LeastLoaded{MaxShedPerEvent: 4},
 	})
 

@@ -39,6 +39,7 @@ import (
 	"legion/internal/orb"
 	"legion/internal/proto"
 	"legion/internal/reservation"
+	"legion/internal/vclock"
 )
 
 // Class is the classifier's verdict on a call error.
@@ -195,6 +196,32 @@ type Policy struct {
 	// Retryable overrides Classify as the retry predicate; nil uses
 	// Classify(err) == ClassRetryable.
 	Retryable func(error) bool
+	// Clock supplies backoff waits and budget/attempt deadlines; nil
+	// means the wall clock. Virtual-time runs set it so retries park on
+	// the discrete-event clock.
+	Clock vclock.Clock
+	// JitterRand, when non-nil, replaces the process-global jitter RNG
+	// so same-process replays draw an independent, seedable stream.
+	// Callers must not share one *rand.Rand across policies without
+	// their own locking; the policy serializes its own draws.
+	JitterRand *LockedRand
+}
+
+// LockedRand is a mutex-guarded rand.Rand for policy-scoped jitter.
+type LockedRand struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewLockedRand seeds a policy-scoped jitter source.
+func NewLockedRand(seed int64) *LockedRand {
+	return &LockedRand{rng: rand.New(rand.NewSource(seed))}
+}
+
+func (r *LockedRand) float64() float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.rng.Float64()
 }
 
 func (p Policy) attempts() int {
@@ -251,9 +278,14 @@ func (p Policy) delay(n int) time.Duration {
 		jit = 1
 	}
 	if jit > 0 {
-		jitterMu.Lock()
-		f := jitterRng.Float64()
-		jitterMu.Unlock()
+		var f float64
+		if p.JitterRand != nil {
+			f = p.JitterRand.float64()
+		} else {
+			jitterMu.Lock()
+			f = jitterRng.Float64()
+			jitterMu.Unlock()
+		}
 		d = d * (1 - jit + jit*f) // uniform in [d*(1-jit), d]
 	}
 	return time.Duration(d)
@@ -263,9 +295,10 @@ func (p Policy) delay(n int) time.Duration {
 // the error stays retryable, the budget deadline holds, and attempts
 // remain. The final error is returned annotated with the attempt count.
 func (p Policy) Do(ctx context.Context, op func(ctx context.Context) error) error {
+	clock := vclock.Default(p.Clock)
 	if p.Budget > 0 {
 		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, p.Budget)
+		ctx, cancel = clock.WithTimeout(ctx, p.Budget)
 		defer cancel()
 	}
 	var err error
@@ -274,7 +307,7 @@ func (p Policy) Do(ctx context.Context, op func(ctx context.Context) error) erro
 		actx := ctx
 		var cancel context.CancelFunc = func() {}
 		if p.AttemptTimeout > 0 {
-			actx, cancel = context.WithTimeout(ctx, p.AttemptTimeout)
+			actx, cancel = clock.WithTimeout(ctx, p.AttemptTimeout)
 		}
 		err = op(actx)
 		cancel()
@@ -290,9 +323,7 @@ func (p Policy) Do(ctx context.Context, op func(ctx context.Context) error) erro
 		if ctx.Err() != nil {
 			return fmt.Errorf("resilient: budget exhausted after %d attempts: %w", n, err)
 		}
-		select {
-		case <-time.After(p.delay(n)):
-		case <-ctx.Done():
+		if serr := clock.Sleep(ctx, p.delay(n)); serr != nil {
 			return fmt.Errorf("resilient: budget exhausted after %d attempts: %w", n, err)
 		}
 	}

@@ -1,0 +1,113 @@
+package scheduler
+
+import (
+	"sync"
+	"time"
+
+	"legion/internal/vclock"
+)
+
+// HostCache memoizes parsed Collection query results for a bounded
+// lifetime.
+//
+// Every Generate run issues one Collection query per requested class and
+// parses every matching record into a HostInfo. At metasystem scale that
+// is the placement pipeline's dominant cost: a 100k-host directory means
+// 100k records fetched, parsed, and sorted per placement, so an open-loop
+// driver offering a million placements would touch 10^11 records. The
+// paper's own schedulers tolerate stale resource information by design —
+// "the resource management framework makes no guarantee that the
+// information is current" (§3.2) — which is exactly the license a TTL
+// cache needs: within the TTL all placements share one parsed snapshot,
+// and staleness is bounded by the same figure the Collection's own pull
+// interval already imposes.
+//
+// The cached slice is handed out shared and must be treated as
+// read-only; every shipped Generator honors this by filtering through
+// usable(), which copies into a fresh backing array before any in-place
+// reorder. Time comes from the supplied Clock, so under a virtual clock
+// the TTL expires in virtual time along with everything else.
+type HostCache struct {
+	clock vclock.Clock
+	ttl   time.Duration
+
+	mu      sync.Mutex
+	entries map[string]hostCacheEntry
+
+	hits, misses int64
+}
+
+type hostCacheEntry struct {
+	hosts   []HostInfo
+	usable  []HostInfo // hosts filtered through usable(), computed once at fill
+	skipped int
+	fetched time.Time
+}
+
+// NewHostCache creates a cache whose entries expire ttl after they were
+// fetched, measured on clock (nil means the wall clock).
+func NewHostCache(clock vclock.Clock, ttl time.Duration) *HostCache {
+	return &HostCache{
+		clock:   vclock.Default(clock),
+		ttl:     ttl,
+		entries: make(map[string]hostCacheEntry),
+	}
+}
+
+// get returns the live entry for the query, if any.
+func (c *HostCache) get(query string) ([]HostInfo, int, bool) {
+	now := c.clock.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[query]
+	if !ok || now.Sub(e.fetched) >= c.ttl {
+		c.misses++
+		return nil, 0, false
+	}
+	c.hits++
+	return e.hosts, e.skipped, true
+}
+
+// getUsable is get returning the usable-filtered view instead. The
+// returned slice is shared across every placement in the TTL window and
+// MUST be treated as read-only; it exists so non-mutating generators
+// (Random) can skip the per-placement filter copy, which at 100k hosts
+// is the placement path's dominant allocation.
+func (c *HostCache) getUsable(query string) ([]HostInfo, int, bool) {
+	now := c.clock.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[query]
+	if !ok || now.Sub(e.fetched) >= c.ttl {
+		c.misses++
+		return nil, 0, false
+	}
+	c.hits++
+	return e.usable, e.skipped, true
+}
+
+// put stores a freshly fetched result.
+func (c *HostCache) put(query string, hosts []HostInfo, skipped int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries[query] = hostCacheEntry{
+		hosts: hosts, usable: usable(hosts),
+		skipped: skipped, fetched: c.clock.Now(),
+	}
+}
+
+// Invalidate drops every entry, forcing the next query of each shape to
+// refetch. Drivers call it after events that change the fleet (hosts
+// added, mass load shifts) when they cannot wait out the TTL.
+func (c *HostCache) Invalidate() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	clear(c.entries)
+}
+
+// Stats reports cache hits and misses since creation.
+func (c *HostCache) Stats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

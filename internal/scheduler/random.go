@@ -32,11 +32,13 @@ func (Random) Generate(ctx context.Context, env *Env, req Request) (sched.Reques
 	}
 	var master sched.Master
 	for _, cr := range req.Classes {
-		hosts, err := matchingHosts(ctx, env, cr.Class)
+		// Read-only shared view: Random only indexes into it, so it can
+		// share the cache's filtered snapshot instead of copying 100k
+		// HostInfos per placement.
+		hosts, err := matchingUsableHosts(ctx, env, cr.Class)
 		if err != nil {
 			return sched.RequestList{}, err
 		}
-		hosts = usable(hosts)
 		if len(hosts) == 0 {
 			return sched.RequestList{}, fmt.Errorf("%w: class %v", ErrNoResources, cr.Class)
 		}

@@ -104,6 +104,10 @@ type Env struct {
 	// shares one set across the Wrapper, queries, and episodes so a dead
 	// Collection or Enactor fails fast. Nil disables breakers.
 	Breakers *resilient.BreakerSet
+	// Cache, when non-nil, memoizes Collection query results (see
+	// HostCache). Scale drivers set it; interactive paths usually leave
+	// it nil and pay the full query for freshness.
+	Cache *HostCache
 }
 
 func (e *Env) timeout() time.Duration {
@@ -139,7 +143,7 @@ type HostInfo struct {
 // queryClassImpls fetches a class's available implementations (Fig 7:
 // "query the class for available implementations").
 func queryClassImpls(ctx context.Context, env *Env, class loid.LOID) ([]proto.Implementation, error) {
-	cctx, cancel := context.WithTimeout(ctx, env.timeout())
+	cctx, cancel := env.RT.Clock().WithTimeout(ctx, env.timeout())
 	defer cancel()
 	res, err := env.call(cctx, class, proto.MethodGetImplementations, nil)
 	if err != nil {
@@ -199,6 +203,28 @@ func QueryHosts(ctx context.Context, env *Env, querySrc string) ([]HostInfo, err
 	return hosts, err
 }
 
+// matchingUsableHosts is matchingHosts pre-filtered through usable().
+// The returned slice may be the cache's shared filtered view: callers
+// MUST NOT reorder or mutate it. Generators that sort or shuffle in
+// place use matchingHosts + usable() (which copies) instead.
+func matchingUsableHosts(ctx context.Context, env *Env, class loid.LOID) ([]HostInfo, error) {
+	impls, err := queryClassImpls(ctx, env, class)
+	if err != nil {
+		return nil, err
+	}
+	querySrc := implQuery(impls)
+	if env.Cache != nil {
+		if hosts, _, ok := env.Cache.getUsable(querySrc); ok {
+			return hosts, nil
+		}
+	}
+	hosts, _, err := QueryHostsPartial(ctx, env, querySrc)
+	if err != nil {
+		return nil, err
+	}
+	return usable(hosts), nil
+}
+
 // QueryHostsPartial is QueryHosts surfacing the federation layer's
 // partial-result marker: skipped is how many Collection shards
 // contributed nothing (timed out, unreachable, breaker-open) — always
@@ -206,7 +232,12 @@ func QueryHosts(ctx context.Context, env *Env, querySrc string) ([]HostInfo, err
 // seeing skipped > 0 knows the host list under-represents the
 // metasystem and can widen its schedule or retry later.
 func QueryHostsPartial(ctx context.Context, env *Env, querySrc string) (hosts []HostInfo, skipped int, err error) {
-	cctx, cancel := context.WithTimeout(ctx, env.timeout())
+	if env.Cache != nil {
+		if hosts, skipped, ok := env.Cache.get(querySrc); ok {
+			return hosts, skipped, nil
+		}
+	}
+	cctx, cancel := env.RT.Clock().WithTimeout(ctx, env.timeout())
 	defer cancel()
 	res, err := env.call(cctx, env.Collection, proto.MethodQueryCollection,
 		proto.QueryArgs{Query: querySrc})
@@ -223,6 +254,9 @@ func QueryHostsPartial(ctx context.Context, env *Env, querySrc string) (hosts []
 	}
 	// Deterministic base order; randomized policies shuffle explicitly.
 	sort.Slice(hosts, func(i, j int) bool { return hosts[i].LOID.Less(hosts[j].LOID) })
+	if env.Cache != nil {
+		env.Cache.put(querySrc, hosts, reply.SkippedShards)
+	}
 	return hosts, reply.SkippedShards, nil
 }
 

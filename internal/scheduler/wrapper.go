@@ -104,7 +104,7 @@ func (w Wrapper) Run(ctx context.Context, env *Env, enactorL loid.LOID, gen Gene
 	// retries transport faults under the normal policy.
 	canceller := resilient.NewCallerWith(env.RT, env.Retry, nil)
 	cancelEpisode := func(id uint64) {
-		cctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), 5*time.Second)
+		cctx, cancel := env.RT.Clock().WithTimeout(context.WithoutCancel(ctx), 5*time.Second)
 		defer cancel()
 		_, _ = canceller.Call(cctx, enactorL, proto.MethodCancelReservations,
 			proto.CancelReservationsArgs{RequestID: id})

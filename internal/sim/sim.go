@@ -85,50 +85,130 @@ func UniformSpecs(n int, cpus int) []HostSpec {
 }
 
 // Fleet is a built synthetic metasystem.
+//
+// Per-host state is flattened for scale: drawing 100k hosts from a
+// six-entry archetype catalogue must not cost 100k full HostSpec records
+// and a 100k-entry LOID-keyed map. Specs are interned (catalogue index
+// per host, initial load split out), and the LOID→index table is a dense
+// slice keyed by the LOID's instance serial — host LOIDs are minted
+// sequentially by one runtime, so the table is an array, not a map.
 type Fleet struct {
 	MS    *core.Metasystem
 	Hosts []*host.Host
-	Specs []HostSpec
-	index map[loid.LOID]int
-	procs []LoadProcess
-	rng   *rand.Rand
+	// catalog holds each distinct spec shape once (Load zeroed);
+	// specIDs[i] is host i's catalogue entry, loads[i] its initial load.
+	catalog []HostSpec
+	specIDs []int32
+	loads   []float32
+	// Dense LOID→index table: host i sits at idx[LOID.Instance-idxBase].
+	idxDomain string
+	idxBase   uint64
+	idx       []int32
+	procs     []LoadProcess
+	rng       *rand.Rand
 }
 
 // Build constructs hosts (one per spec) in the metasystem, with one
 // shared vault per zone.
 func Build(ms *core.Metasystem, rng *rand.Rand, specs []HostSpec) *Fleet {
-	f := &Fleet{MS: ms, Specs: specs, index: make(map[loid.LOID]int), rng: rng}
+	f := &Fleet{
+		MS:      ms,
+		Hosts:   make([]*host.Host, 0, len(specs)),
+		specIDs: make([]int32, 0, len(specs)),
+		loads:   make([]float32, 0, len(specs)),
+		procs:   make([]LoadProcess, len(specs)),
+		rng:     rng,
+	}
+	// One vault per zone; all hosts of a zone share one immutable vault
+	// slice rather than allocating a single-element slice each.
 	vaults := make(map[string]loid.LOID)
+	vaultSlices := make(map[string][]loid.LOID)
 	for _, s := range specs {
 		if _, ok := vaults[s.Zone]; !ok {
 			v := ms.AddVault(vault.Config{Zone: s.Zone})
 			vaults[s.Zone] = v.LOID()
+			vaultSlices[s.Zone] = []loid.LOID{v.LOID()}
 		}
 	}
+	catIdx := make(map[HostSpec]int32)
 	for i, s := range specs {
 		h := ms.AddHost(host.Config{
 			Arch: s.Arch, OS: s.OS, OSVersion: s.OSVer,
 			CPUs: s.CPUs, MemoryMB: s.MemoryMB, Zone: s.Zone,
 			CostPerCPU: s.Cost,
 			MaxShared:  s.MaxShared,
-			Vaults:     []loid.LOID{vaults[s.Zone]},
+			Vaults:     vaultSlices[s.Zone],
 		})
 		h.SetExternalLoad(s.Load)
 		h.Reassess(context.Background())
 		f.Hosts = append(f.Hosts, h)
-		f.index[h.LOID()] = i
-		f.procs = append(f.procs, nil)
+
+		key := s
+		key.Load = 0
+		id, ok := catIdx[key]
+		if !ok {
+			id = int32(len(f.catalog))
+			f.catalog = append(f.catalog, key)
+			catIdx[key] = id
+		}
+		f.specIDs = append(f.specIDs, id)
+		f.loads = append(f.loads, float32(s.Load))
+
+		l := h.LOID()
+		if i == 0 {
+			f.idxDomain = l.Domain
+			f.idxBase = l.Instance
+		}
+		f.growIdx(l.Instance)
+		f.idx[l.Instance-f.idxBase] = int32(i)
 	}
 	return f
 }
 
+// growIdx extends the dense index to cover the given instance serial.
+// Host LOIDs are sequential, so this appends a handful of slots at most;
+// interleaved non-host minting just leaves -1 holes.
+func (f *Fleet) growIdx(instance uint64) {
+	for uint64(len(f.idx)) <= instance-f.idxBase {
+		f.idx = append(f.idx, -1)
+	}
+}
+
+// indexOf resolves a host LOID to its fleet position.
+func (f *Fleet) indexOf(l loid.LOID) (int, bool) {
+	if l.Domain != f.idxDomain || l.Instance < f.idxBase {
+		return 0, false
+	}
+	off := l.Instance - f.idxBase
+	if off >= uint64(len(f.idx)) || f.idx[off] < 0 {
+		return 0, false
+	}
+	i := int(f.idx[off])
+	// Guard against a foreign LOID whose serial collides (e.g. a Vault
+	// minted between hosts): the slot must name this host.
+	if f.Hosts[i].LOID() != l {
+		return 0, false
+	}
+	return i, true
+}
+
+// specAt reconstructs host i's full spec from the interned form.
+func (f *Fleet) specAt(i int) HostSpec {
+	s := f.catalog[f.specIDs[i]]
+	s.Load = float64(f.loads[i])
+	return s
+}
+
+// Size returns the number of hosts in the fleet.
+func (f *Fleet) Size() int { return len(f.Hosts) }
+
 // SpecOf returns the spec of the host with the given LOID.
 func (f *Fleet) SpecOf(l loid.LOID) (HostSpec, bool) {
-	i, ok := f.index[l]
+	i, ok := f.indexOf(l)
 	if !ok {
 		return HostSpec{}, false
 	}
-	return f.Specs[i], true
+	return f.specAt(i), true
 }
 
 // LoadProcess evolves one host's background load per step.
@@ -215,11 +295,11 @@ func TaskCounts(mappings []sched.Mapping) map[loid.LOID]int {
 func (f *Fleet) Makespan(mappings []sched.Mapping, taskDur time.Duration) time.Duration {
 	var worst time.Duration
 	for hostL, n := range TaskCounts(mappings) {
-		i, ok := f.index[hostL]
+		i, ok := f.indexOf(hostL)
 		if !ok {
 			continue
 		}
-		s := f.Specs[i]
+		s := f.specAt(i)
 		cpus := s.CPUs
 		if cpus < 1 {
 			cpus = 1
@@ -248,11 +328,11 @@ func (f *Fleet) Imbalance(mappings []sched.Mapping) float64 {
 	var weights []float64
 	var sum float64
 	for hostL, n := range counts {
-		i, ok := f.index[hostL]
+		i, ok := f.indexOf(hostL)
 		if !ok {
 			continue
 		}
-		cpus := f.Specs[i].CPUs
+		cpus := f.catalog[f.specIDs[i]].CPUs
 		if cpus < 1 {
 			cpus = 1
 		}

@@ -108,11 +108,11 @@ func (f *Fleet) WeightedMakespan(mappings []sched.Mapping, durs []time.Duration)
 	}
 	var worst time.Duration
 	for hostL, w := range work {
-		i, ok := f.index[hostL]
+		i, ok := f.indexOf(hostL)
 		if !ok {
 			continue
 		}
-		s := f.Specs[i]
+		s := f.specAt(i)
 		cpus := s.CPUs
 		if cpus < 1 {
 			cpus = 1

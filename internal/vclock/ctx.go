@@ -1,0 +1,159 @@
+package vclock
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+)
+
+// vctx is a context whose deadline lives on the virtual clock: expiry
+// is a scheduled event, so code that checks Deadline()/Err() or parks
+// against the context sees virtual time, not wall time. Cancellation
+// of parked waiters is granted under the clock mutex, keeping wakeups
+// inside the serialized event order.
+type vctx struct {
+	context.Context // parent (values, parent Done as fallback)
+
+	v        *Virtual
+	deadline time.Time
+	done     chan struct{}
+	err      error // guarded by v.mu
+	ev       *event
+	waiters  []*waiter
+	children []*vctx
+	detach   func() // remove self from a vctx parent's children
+	stop     atomic.Bool
+}
+
+// vctxKey lets WithTimeout find the nearest vctx ancestor through
+// stdlib wrappers (context.WithValue from tracing, etc.) that would
+// otherwise hide it from a direct type assertion.
+type vctxKey struct{}
+
+func (c *vctx) Value(key any) any {
+	if _, ok := key.(vctxKey); ok {
+		return c
+	}
+	return c.Context.Value(key)
+}
+
+// WithTimeout derives a context whose deadline is d of virtual time
+// from now. Parent cancellation propagates: synchronously (serialized)
+// for parents created by this clock, via a watcher goroutine for
+// arbitrary cancellable parents.
+func (v *Virtual) WithTimeout(parent context.Context, d time.Duration) (context.Context, context.CancelFunc) {
+	p, isOurs := parent.(*vctx)
+	if !isOurs {
+		// The parent may be a vctx under stdlib wrapper layers (tracing
+		// adds context.WithValue on every call path). If the nearest
+		// vctx ancestor's done channel IS the parent's done channel, no
+		// cancellable stdlib context sits between them, so linking to
+		// the ancestor is exact — and keeps cancellation on the
+		// synchronous serialized path instead of a watcher goroutine.
+		if pv, ok := parent.Value(vctxKey{}).(*vctx); ok && parent.Done() == pv.done {
+			p, isOurs = pv, true
+		}
+	}
+	isOurs = isOurs && p.v == v
+	var perr error
+	if !isOurs {
+		// Safe to ask outside v.mu; a vctx parent's err is read under
+		// the lock below instead (its Err() would re-lock v.mu).
+		perr = parent.Err()
+	}
+	v.mu.Lock()
+	c := &vctx{
+		Context:  parent,
+		v:        v,
+		deadline: v.now.Add(d),
+		done:     make(chan struct{}),
+	}
+	if pd, ok := parent.Deadline(); ok && pd.Before(c.deadline) {
+		c.deadline = pd
+	}
+	if isOurs {
+		perr = p.err
+	}
+	if perr != nil {
+		c.cancelLocked(perr)
+		v.mu.Unlock()
+		return c, func() {}
+	}
+	c.ev = v.schedule(c.deadline, "ctx-deadline", func(v *Virtual) {
+		c.cancelLocked(context.DeadlineExceeded)
+	})
+	if isOurs {
+		p.children = append(p.children, c)
+		c.detach = func() {
+			for i, ch := range p.children {
+				if ch == c {
+					p.children = append(p.children[:i], p.children[i+1:]...)
+					break
+				}
+			}
+		}
+	} else if parent.Done() != nil {
+		// Arbitrary cancellable parent: watch it from an unregistered
+		// goroutine. The watcher takes the self-grant path (busy++ under
+		// the lock), so safety holds; the wakeup lands between events
+		// rather than at a scheduled one, which is the documented
+		// nondeterminism window for stdlib contexts in virtual mode.
+		go func() {
+			select {
+			case <-parent.Done():
+				// Read the parent's error BEFORE taking v.mu: if the
+				// parent chain bottoms out in a vctx, its Err() takes
+				// v.mu too, and taking it while holding it self-deadlocks
+				// the whole clock.
+				err := parent.Err()
+				v.mu.Lock()
+				c.cancelLocked(err)
+				v.mu.Unlock()
+			case <-c.done:
+			}
+		}()
+	}
+	v.mu.Unlock()
+	cancel := func() {
+		if c.stop.CompareAndSwap(false, true) {
+			v.mu.Lock()
+			c.cancelLocked(context.Canceled)
+			v.mu.Unlock()
+		}
+	}
+	return c, cancel
+}
+
+// cancelLocked finalizes the context with err; v.mu must be held.
+// Idempotent. Grants parked waiters and cascades to child contexts,
+// all inside the same serialized critical section.
+func (c *vctx) cancelLocked(err error) {
+	if c.err != nil {
+		return
+	}
+	c.err = err
+	c.v.cancelEventLocked(c.ev)
+	if c.detach != nil {
+		c.detach()
+		c.detach = nil
+	}
+	close(c.done)
+	for _, w := range c.waiters {
+		c.v.cancelEventLocked(w.ev)
+		c.v.grant(w, err)
+	}
+	c.waiters = nil
+	for _, ch := range c.children {
+		ch.cancelLocked(context.Canceled)
+	}
+	c.children = nil
+}
+
+func (c *vctx) Deadline() (time.Time, bool) { return c.deadline, true }
+func (c *vctx) Done() <-chan struct{}       { return c.done }
+
+func (c *vctx) Err() error {
+	c.v.mu.Lock()
+	defer c.v.mu.Unlock()
+	return c.err
+}

@@ -1,0 +1,421 @@
+package vclock
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestVirtualNowAdvance(t *testing.T) {
+	v := NewVirtual()
+	t0 := v.Now()
+	v.Advance(5 * time.Second)
+	if got := v.Since(t0); got != 5*time.Second {
+		t.Fatalf("Since = %v, want 5s", got)
+	}
+	v.AdvanceTo(t0.Add(7 * time.Second))
+	if got := v.Elapsed(); got != 7*time.Second {
+		t.Fatalf("Elapsed = %v, want 7s", got)
+	}
+}
+
+func TestVirtualSleepOrdering(t *testing.T) {
+	v := NewVirtual()
+	var mu sync.Mutex
+	var order []string
+	sleeper := func(name string, d time.Duration) func() {
+		return func() {
+			_ = v.Sleep(context.Background(), d)
+			mu.Lock()
+			order = append(order, fmt.Sprintf("%s@%v", name, v.Elapsed()))
+			mu.Unlock()
+		}
+	}
+	v.Go(sleeper("c", 30*time.Millisecond))
+	v.Go(sleeper("a", 10*time.Millisecond))
+	v.Go(sleeper("b", 20*time.Millisecond))
+	v.RunUntilIdle()
+	want := []string{"a@10ms", "b@20ms", "c@30ms"}
+	if fmt.Sprint(order) != fmt.Sprint(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+}
+
+func TestVirtualRun(t *testing.T) {
+	v := NewVirtual()
+	done := false
+	v.Run(func() {
+		for i := 0; i < 100; i++ {
+			_ = v.Sleep(context.Background(), time.Millisecond)
+		}
+		done = true
+	})
+	if !done {
+		t.Fatal("Run returned before fn finished")
+	}
+	if got := v.Elapsed(); got != 100*time.Millisecond {
+		t.Fatalf("Elapsed = %v, want 100ms", got)
+	}
+}
+
+func TestVirtualSleepCancel(t *testing.T) {
+	v := NewVirtual()
+	ctx, cancel := v.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	var err error
+	v.Run(func() {
+		err = v.Sleep(ctx, time.Hour)
+	})
+	if err != context.DeadlineExceeded {
+		t.Fatalf("Sleep err = %v, want DeadlineExceeded", err)
+	}
+	if got := v.Elapsed(); got != 10*time.Millisecond {
+		t.Fatalf("woke at %v, want 10ms", got)
+	}
+}
+
+func TestVirtualWithTimeoutDeadline(t *testing.T) {
+	v := NewVirtual()
+	ctx, cancel := v.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	dl, ok := ctx.Deadline()
+	if !ok || !dl.Equal(v.Now().Add(time.Minute)) {
+		t.Fatalf("Deadline = %v,%v; want virtual now+1m", dl, ok)
+	}
+	if ctx.Err() != nil {
+		t.Fatalf("fresh ctx Err = %v", ctx.Err())
+	}
+	v.Advance(time.Minute)
+	if ctx.Err() != context.DeadlineExceeded {
+		t.Fatalf("expired ctx Err = %v, want DeadlineExceeded", ctx.Err())
+	}
+	select {
+	case <-ctx.Done():
+	default:
+		t.Fatal("Done channel not closed after deadline")
+	}
+}
+
+func TestVirtualWithTimeoutParentCancel(t *testing.T) {
+	v := NewVirtual()
+	parent, pcancel := v.WithTimeout(context.Background(), time.Hour)
+	child, ccancel := v.WithTimeout(parent, time.Hour)
+	defer ccancel()
+	pcancel()
+	if child.Err() != context.Canceled {
+		t.Fatalf("child Err = %v, want Canceled after parent cancel", child.Err())
+	}
+}
+
+func TestVirtualWithTimeoutStdlibParent(t *testing.T) {
+	v := NewVirtual()
+	parent, pcancel := context.WithCancel(context.Background())
+	child, ccancel := v.WithTimeout(parent, time.Hour)
+	defer ccancel()
+	pcancel()
+	<-child.Done()
+	if child.Err() != context.Canceled {
+		t.Fatalf("child Err = %v, want Canceled", child.Err())
+	}
+}
+
+func TestVirtualTicker(t *testing.T) {
+	v := NewVirtual()
+	var ticks []time.Duration
+	v.Run(func() {
+		tk := v.NewTicker(10 * time.Millisecond)
+		defer tk.Stop()
+		for i := 0; i < 3; i++ {
+			if err := tk.Wait(context.Background()); err != nil {
+				t.Errorf("Wait: %v", err)
+				return
+			}
+			ticks = append(ticks, v.Elapsed())
+			// Simulate slow consumer on the second tick: the ticker
+			// fires once immediately, then resumes its schedule.
+			if i == 0 {
+				_ = v.Sleep(context.Background(), 25*time.Millisecond)
+			}
+		}
+	})
+	want := []time.Duration{10 * time.Millisecond, 35 * time.Millisecond, 45 * time.Millisecond}
+	if fmt.Sprint(ticks) != fmt.Sprint(want) {
+		t.Fatalf("ticks = %v, want %v", ticks, want)
+	}
+}
+
+func TestVirtualGate(t *testing.T) {
+	v := NewVirtual()
+	g := v.NewGate()
+	var got []string
+	v.Go(func() {
+		_ = v.Sleep(context.Background(), 5*time.Millisecond)
+		got = append(got, "signal")
+		g.Signal()
+	})
+	v.Run(func() {
+		if err := g.Wait(context.Background()); err != nil {
+			t.Errorf("Wait: %v", err)
+		}
+		got = append(got, "woke")
+	})
+	if fmt.Sprint(got) != "[signal woke]" {
+		t.Fatalf("got %v", got)
+	}
+	// Token deposited before Wait is consumed without parking.
+	g.Signal()
+	if err := g.Wait(context.Background()); err != nil {
+		t.Fatalf("token Wait: %v", err)
+	}
+}
+
+func TestVirtualGroup(t *testing.T) {
+	v := NewVirtual()
+	g := v.NewGroup()
+	g.Add(3)
+	var sum time.Duration
+	for i := 1; i <= 3; i++ {
+		d := time.Duration(i) * 10 * time.Millisecond
+		v.Go(func() {
+			_ = v.Sleep(context.Background(), d)
+			g.Done()
+		})
+	}
+	v.Run(func() {
+		if err := g.Wait(context.Background()); err != nil {
+			t.Errorf("Wait: %v", err)
+		}
+		sum = v.Elapsed()
+	})
+	if sum != 30*time.Millisecond {
+		t.Fatalf("group joined at %v, want 30ms", sum)
+	}
+}
+
+func TestVirtualAfterFunc(t *testing.T) {
+	v := NewVirtual()
+	fired := 0
+	tm := v.AfterFunc(10*time.Millisecond, func() { fired++ })
+	v.Advance(5 * time.Millisecond)
+	if fired != 0 {
+		t.Fatal("fired early")
+	}
+	if !tm.Stop() {
+		t.Fatal("Stop on pending timer = false")
+	}
+	v.Advance(20 * time.Millisecond)
+	if fired != 0 {
+		t.Fatal("fired after Stop")
+	}
+	tm.Reset(10 * time.Millisecond)
+	v.Advance(10 * time.Millisecond)
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1 after Reset", fired)
+	}
+}
+
+func TestVirtualTraceDeterminism(t *testing.T) {
+	run := func(seed int64) []string {
+		v := NewVirtual()
+		v.StartTrace()
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 20; i++ {
+			d := time.Duration(rng.Intn(50)) * time.Millisecond
+			v.Go(func() { _ = v.Sleep(context.Background(), d) })
+		}
+		v.RunUntilIdle()
+		return v.Trace()
+	}
+	a, b := run(7), run(7)
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatalf("same-seed traces differ:\n%v\n%v", a, b)
+	}
+	c := run(8)
+	if fmt.Sprint(a) == fmt.Sprint(c) {
+		t.Fatal("different-seed traces identical (trace not capturing schedule)")
+	}
+}
+
+func TestVirtualRunDeadlockPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected deadlock panic")
+		}
+	}()
+	v := NewVirtual()
+	g := v.NewGate()
+	v.Run(func() {
+		_ = g.Wait(context.Background()) // nothing will ever Signal
+	})
+}
+
+func TestWallClockBasics(t *testing.T) {
+	c := Default(nil)
+	t0 := c.Now()
+	if err := c.Sleep(context.Background(), time.Millisecond); err != nil {
+		t.Fatalf("Sleep: %v", err)
+	}
+	if c.Since(t0) <= 0 {
+		t.Fatal("time did not advance")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := c.Sleep(ctx, time.Hour); err != context.Canceled {
+		t.Fatalf("cancelled Sleep err = %v", err)
+	}
+	g := c.NewGate()
+	g.Signal()
+	if err := g.Wait(context.Background()); err != nil {
+		t.Fatalf("gate: %v", err)
+	}
+	grp := c.NewGroup()
+	grp.Add(1)
+	go grp.Done()
+	if err := grp.Wait(context.Background()); err != nil {
+		t.Fatalf("group: %v", err)
+	}
+}
+
+// --- property test (satellite 2): randomized timer operations against
+// a model oracle. Invariants: a timer fires never early, at most once,
+// and exactly once unless stopped/reset while pending; fires are
+// observed in nondecreasing virtual-time order.
+
+type modelTimer struct {
+	id      int
+	due     time.Duration // elapsed-at-fire per the model; -1 when inactive
+	fired   bool
+	stopped bool
+}
+
+func TestVirtualTimerProperty(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			v := NewVirtual()
+			epoch := v.Now()
+
+			type firing struct {
+				id int
+				at time.Duration
+			}
+			var mu sync.Mutex
+			var fires []firing
+
+			var timers []Timer
+			var model []*modelTimer
+
+			elapsed := func() time.Duration { return v.Now().Sub(epoch) }
+
+			// consume checks fire records appended since the last call
+			// against the model's state as armed at fire time: never
+			// early, never after a Stop, at most once per arming.
+			processed := 0
+			consume := func(step int) {
+				mu.Lock()
+				defer mu.Unlock()
+				for ; processed < len(fires); processed++ {
+					f := fires[processed]
+					m := model[f.id]
+					switch {
+					case m.stopped:
+						t.Fatalf("step %d: timer #%d fired after Stop", step, f.id)
+					case m.fired:
+						t.Fatalf("step %d: timer #%d fired twice for one arming", step, f.id)
+					case f.at < m.due:
+						t.Fatalf("step %d: timer #%d fired early: at %v, due %v", step, f.id, f.at, m.due)
+					}
+					m.fired = true
+				}
+			}
+
+			for step := 0; step < 200; step++ {
+				switch op := rng.Intn(10); {
+				case op < 4: // create
+					id := len(timers)
+					d := time.Duration(rng.Intn(100)) * time.Millisecond
+					m := &modelTimer{id: id, due: elapsed() + d}
+					tm := v.AfterFunc(d, func() {
+						mu.Lock()
+						fires = append(fires, firing{id: id, at: elapsed()})
+						mu.Unlock()
+					})
+					timers = append(timers, tm)
+					model = append(model, m)
+				case op < 6 && len(timers) > 0: // stop
+					i := rng.Intn(len(timers))
+					wasPending := !model[i].fired && !model[i].stopped
+					got := timers[i].Stop()
+					if got != wasPending {
+						t.Fatalf("step %d: Stop(#%d) = %v, model pending = %v", step, i, got, wasPending)
+					}
+					model[i].stopped = true
+				case op < 8 && len(timers) > 0: // reset
+					i := rng.Intn(len(timers))
+					d := time.Duration(rng.Intn(100)) * time.Millisecond
+					wasPending := !model[i].fired && !model[i].stopped
+					got := timers[i].Reset(d)
+					if got != wasPending {
+						t.Fatalf("step %d: Reset(#%d) = %v, model pending = %v", step, i, got, wasPending)
+					}
+					model[i].stopped = false
+					model[i].fired = false
+					model[i].due = elapsed() + d
+				default: // advance
+					v.Advance(time.Duration(rng.Intn(40)) * time.Millisecond)
+					consume(step)
+				}
+			}
+			v.RunUntilIdle()
+			v.Advance(time.Second) // flush everything still due
+			consume(200)
+
+			mu.Lock()
+			defer mu.Unlock()
+
+			// Fires are observed in nondecreasing virtual-time order.
+			if !sort.SliceIsSorted(fires, func(i, j int) bool { return fires[i].at < fires[j].at }) {
+				t.Fatalf("fires out of order: %v", fires)
+			}
+			// Exactly-once: every armed, never-stopped timer has fired
+			// by now (the final Advance flushed a full second past any
+			// due time); duplicates and post-Stop fires were caught in
+			// consume.
+			for i, m := range model {
+				if !m.stopped && !m.fired {
+					t.Fatalf("timer #%d due %v never fired", i, m.due)
+				}
+			}
+		})
+	}
+}
+
+// TestVirtualSleepNeverEarly pins the no-early-wake invariant for Sleep
+// across randomized schedules.
+func TestVirtualSleepNeverEarly(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	v := NewVirtual()
+	var mu sync.Mutex
+	violations := 0
+	for i := 0; i < 100; i++ {
+		d := time.Duration(rng.Intn(200)) * time.Millisecond
+		start := v.Now()
+		v.Go(func() {
+			_ = v.Sleep(context.Background(), d)
+			mu.Lock()
+			if v.Now().Sub(start) < d {
+				violations++
+			}
+			mu.Unlock()
+		})
+	}
+	v.RunUntilIdle()
+	if violations > 0 {
+		t.Fatalf("%d early wakes", violations)
+	}
+}

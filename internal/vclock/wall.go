@@ -1,0 +1,166 @@
+package vclock
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Wall is the real-time Clock: thin wrappers over package time and
+// context. It is the default everywhere a Clock is not configured.
+var Wall Clock = wallClock{}
+
+type wallClock struct{}
+
+func (wallClock) Now() time.Time                  { return time.Now() }
+func (wallClock) Since(t time.Time) time.Duration { return time.Since(t) }
+func (wallClock) Until(t time.Time) time.Duration { return time.Until(t) }
+
+func (wallClock) Sleep(ctx context.Context, d time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if d <= 0 {
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (wallClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+func (wallClock) AfterFunc(d time.Duration, f func()) Timer {
+	return wallTimer{t: time.AfterFunc(d, f)}
+}
+
+func (wallClock) NewTimer(d time.Duration) Timer {
+	return wallTimer{t: time.NewTimer(d)}
+}
+
+func (wallClock) NewTicker(d time.Duration) Ticker {
+	return &wallTicker{t: time.NewTicker(d)}
+}
+
+func (wallClock) WithTimeout(parent context.Context, d time.Duration) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(parent, d)
+}
+
+func (wallClock) Go(f func()) { go f() }
+
+func (wallClock) NewGate() Gate   { return &wallGate{} }
+func (wallClock) NewGroup() Group { return &wallGroup{} }
+
+// wallTimer adapts *time.Timer.
+type wallTimer struct{ t *time.Timer }
+
+func (w wallTimer) C() <-chan time.Time        { return w.t.C }
+func (w wallTimer) Stop() bool                 { return w.t.Stop() }
+func (w wallTimer) Reset(d time.Duration) bool { return w.t.Reset(d) }
+
+// wallTicker adapts *time.Ticker with a cancellable Wait.
+type wallTicker struct{ t *time.Ticker }
+
+func (w *wallTicker) Wait(ctx context.Context) error {
+	select {
+	case <-w.t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (w *wallTicker) Stop() { w.t.Stop() }
+
+// wallGate is the real-time Gate: a token count plus a one-slot wake
+// channel (single waiter by contract).
+type wallGate struct {
+	mu     sync.Mutex
+	tokens int
+	wake   chan struct{}
+}
+
+func (g *wallGate) Signal() {
+	g.mu.Lock()
+	g.tokens++
+	wake := g.wake
+	g.mu.Unlock()
+	if wake != nil {
+		select {
+		case wake <- struct{}{}:
+		default:
+		}
+	}
+}
+
+func (g *wallGate) Wait(ctx context.Context) error {
+	g.mu.Lock()
+	if g.wake == nil {
+		g.wake = make(chan struct{}, 1)
+	}
+	wake := g.wake
+	g.mu.Unlock()
+	for {
+		g.mu.Lock()
+		if g.tokens > 0 {
+			g.tokens--
+			g.mu.Unlock()
+			return nil
+		}
+		g.mu.Unlock()
+		select {
+		case <-wake:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// wallGroup is the real-time Group: counter plus broadcast channels.
+type wallGroup struct {
+	mu      sync.Mutex
+	n       int
+	waiters []chan struct{}
+}
+
+func (g *wallGroup) Add(n int) {
+	g.mu.Lock()
+	g.n += n
+	if g.n < 0 {
+		g.mu.Unlock()
+		panic("vclock: negative Group counter")
+	}
+	done := g.n == 0
+	var ws []chan struct{}
+	if done {
+		ws, g.waiters = g.waiters, nil
+	}
+	g.mu.Unlock()
+	for _, ch := range ws {
+		close(ch)
+	}
+}
+
+func (g *wallGroup) Done() { g.Add(-1) }
+
+func (g *wallGroup) Wait(ctx context.Context) error {
+	g.mu.Lock()
+	if g.n == 0 {
+		g.mu.Unlock()
+		return nil
+	}
+	ch := make(chan struct{})
+	g.waiters = append(g.waiters, ch)
+	g.mu.Unlock()
+	select {
+	case <-ch:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
