@@ -41,6 +41,13 @@ var (
 	e12Requests = 50_000
 )
 
+// e13Hosts/e13Requests size E13's codec-boundary reruns of the E12
+// campaign; -hosts/-requests override these too.
+var (
+	e13Hosts    = 10_000
+	e13Requests = 50_000
+)
+
 func catalogue() []experiment {
 	return []experiment{
 		{"T1", "Host interface per-op latency (Table 1)", func() *experiments.Table {
@@ -112,6 +119,9 @@ func catalogue() []experiment {
 		{"E12", "Virtual-time scale: open-loop placements, discrete-event clock", func() *experiments.Table {
 			return experiments.E12VirtualScale(e12Hosts, e12Requests)
 		}},
+		{"E13", "Codec boundary: E12 wall-clock under gob vs binary marshalling", func() *experiments.Table {
+			return experiments.E13CodecBoundary(e13Hosts, e13Requests)
+		}},
 		{"A1", "Ablation: variants vs regenerate", func() *experiments.Table {
 			return experiments.A1VariantVsRegenerate(30, 3)
 		}},
@@ -136,8 +146,10 @@ func main() {
 		asJSON    = flag.Bool("json", false, "emit the result tables as a JSON array instead of text")
 		compare   = flag.String("compare", "", "diff this run's tables against a baseline -json file; exits nonzero past LEGION_BENCH_DRIFT_MAX (fraction, unset = report only)")
 		virtual   = flag.Bool("virtual", false, "run E12 at full committed scale (100k hosts / 1M placements; implies -run E12 when -run is unset)")
-		hosts     = flag.Int("hosts", 0, "override E12 fleet size (virtual-time hosts)")
-		requests  = flag.Int("requests", 0, "override E12 placement count")
+		hosts     = flag.Int("hosts", 0, "override E12/E13 fleet size (virtual-time hosts)")
+		requests  = flag.Int("requests", 0, "override E12/E13 placement count")
+		input     = flag.String("input", "", "load tables from this -json output file instead of running experiments (for -compare/-slo on recorded results)")
+		slo       = flag.Bool("slo", false, "after running, check LEGION_PERF_* env ceilings against the result tables; exits 3 on violation")
 	)
 	flag.Parse()
 	if *faultrate >= 0 {
@@ -150,10 +162,10 @@ func main() {
 		}
 	}
 	if *hosts > 0 {
-		e12Hosts = *hosts
+		e12Hosts, e13Hosts = *hosts, *hosts
 	}
 	if *requests > 0 {
-		e12Requests = *requests
+		e12Requests, e13Requests = *requests, *requests
 	}
 
 	cat := catalogue()
@@ -170,15 +182,37 @@ func main() {
 		}
 	}
 	var tables []*experiments.Table
-	for _, e := range cat {
-		if len(want) > 0 && !want[e.id] {
-			continue
+	if *input != "" {
+		raw, err := os.ReadFile(*input)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "input: %v\n", err)
+			os.Exit(1)
 		}
-		t := e.run()
-		if !*asJSON {
-			t.Fprint(os.Stdout)
+		var loaded []*experiments.Table
+		if err := json.Unmarshal(raw, &loaded); err != nil {
+			fmt.Fprintf(os.Stderr, "input %s: %v\n", *input, err)
+			os.Exit(1)
 		}
-		tables = append(tables, t)
+		for _, t := range loaded {
+			if len(want) > 0 && !want[t.ID] {
+				continue
+			}
+			if !*asJSON {
+				t.Fprint(os.Stdout)
+			}
+			tables = append(tables, t)
+		}
+	} else {
+		for _, e := range cat {
+			if len(want) > 0 && !want[e.id] {
+				continue
+			}
+			t := e.run()
+			if !*asJSON {
+				t.Fprint(os.Stdout)
+			}
+			tables = append(tables, t)
+		}
 	}
 	if len(tables) == 0 {
 		fmt.Fprintf(os.Stderr, "no experiments matched %q; try -list\n", *run)
@@ -203,6 +237,11 @@ func main() {
 	}
 	if *compare != "" {
 		if code := runCompare(*compare, tables); code != 0 {
+			os.Exit(code)
+		}
+	}
+	if *slo {
+		if code := checkSLOs(tables); code != 0 {
 			os.Exit(code)
 		}
 	}

@@ -1,0 +1,123 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"legion/internal/experiments"
+)
+
+// sloSpec binds an environment-variable ceiling to one table cell,
+// located by table ID, leading row cells, and column header. The cell
+// parses through numericCell (so durations work) and is compared in the
+// spec's unit.
+type sloSpec struct {
+	env     string   // ceiling variable, e.g. LEGION_PERF_QUERY_10K_US_MAX
+	table   string   // table ID
+	match   []string // leading row cells that identify the row
+	col     string   // column header
+	toUnit  float64  // multiplier from numericCell's units to the env unit
+	unitTag string   // printed with values, e.g. "µs"
+}
+
+// sloSpecs is the perf-qualification gate: each entry names a
+// latency-critical cell and the env var CI sets to its ceiling. Specs
+// whose variable is unset are skipped, so local runs stay quiet.
+// numericCell returns seconds for durations; toUnit converts to the
+// variable's advertised unit.
+var sloSpecs = []sloSpec{
+	{env: "LEGION_PERF_QUERY_10K_US_MAX", table: "E8",
+		match: []string{"query", "10000 hosts", "indexed"}, col: "mean latency",
+		toUnit: 1e6, unitTag: "µs"},
+	{env: "LEGION_PERF_QUERY_1K_US_MAX", table: "E8",
+		match: []string{"query", "1000 hosts", "indexed"}, col: "mean latency",
+		toUnit: 1e6, unitTag: "µs"},
+	{env: "LEGION_PERF_E12_P99_MS_MAX", table: "E12",
+		match: []string{}, col: "p99",
+		toUnit: 1e3, unitTag: "ms"},
+	{env: "LEGION_PERF_E13_BINARY_WALL_MS_MAX", table: "E13",
+		match: []string{"binary"}, col: "wall",
+		toUnit: 1e3, unitTag: "ms"},
+}
+
+// findCell locates the spec's cell in the run's tables.
+func (s sloSpec) findCell(tables []*experiments.Table) (string, bool) {
+	for _, t := range tables {
+		if t.ID != s.table {
+			continue
+		}
+		col := -1
+		for i, h := range t.Header {
+			if h == s.col {
+				col = i
+			}
+		}
+		if col < 0 {
+			return "", false
+		}
+	rows:
+		for _, row := range t.Rows {
+			if len(row) <= col || len(row) < len(s.match) {
+				continue
+			}
+			for i, want := range s.match {
+				if row[i] != want {
+					continue rows
+				}
+			}
+			return row[col], true
+		}
+	}
+	return "", false
+}
+
+// checkSLOs evaluates every spec whose env var is set against the run's
+// tables, printing one line per check. It returns 3 if any ceiling is
+// exceeded, 1 on configuration errors (bad ceiling, missing cell — a
+// gate that silently checks nothing must fail loudly), 0 otherwise.
+func checkSLOs(tables []*experiments.Table) int {
+	code := 0
+	checked := 0
+	fmt.Println("## perf SLO gate")
+	for _, s := range sloSpecs {
+		ceilRaw := os.Getenv(s.env)
+		if ceilRaw == "" {
+			continue
+		}
+		checked++
+		ceil, err := strconv.ParseFloat(ceilRaw, 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "slo: bad %s=%q: %v\n", s.env, ceilRaw, err)
+			code = max(code, 1)
+			continue
+		}
+		cell, ok := s.findCell(tables)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "slo: %s: cell %s[%s]/%s not in this run's tables\n",
+				s.env, s.table, strings.Join(s.match, ","), s.col)
+			code = max(code, 1)
+			continue
+		}
+		v, ok := numericCell(cell)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "slo: %s: cell value %q is not numeric\n", s.env, cell)
+			code = max(code, 1)
+			continue
+		}
+		got := v * s.toUnit
+		status := "ok"
+		if got > ceil {
+			status = "VIOLATION"
+			code = max(code, 3)
+		}
+		fmt.Printf("  %-36s %s[%s]/%s = %.0f%s (ceiling %.0f%s) %s\n",
+			s.env, s.table, strings.Join(s.match, ","), s.col,
+			got, s.unitTag, ceil, s.unitTag, status)
+	}
+	if checked == 0 {
+		fmt.Println("  no LEGION_PERF_* ceilings set: nothing to check")
+	}
+	return code
+}

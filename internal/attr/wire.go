@@ -1,0 +1,112 @@
+package attr
+
+import (
+	"fmt"
+
+	"legion/internal/wire"
+)
+
+// maxWireDepth bounds list nesting on decode, mirroring the recursion
+// limit the gob decoder enforces: a hostile frame must not be able to
+// exhaust the stack with a deeply nested list.
+const maxWireDepth = 32
+
+// AppendWire appends the Value in the ORB's binary wire format: a kind
+// byte followed by the kind's payload.
+func (v Value) AppendWire(b []byte) []byte {
+	b = append(b, byte(v.kind))
+	switch v.kind {
+	case KindString:
+		b = wire.AppendString(b, v.s)
+	case KindInt:
+		b = wire.AppendVarint(b, v.i)
+	case KindFloat:
+		b = wire.AppendFloat64(b, v.f)
+	case KindBool:
+		b = wire.AppendBool(b, v.b)
+	case KindList:
+		b = wire.AppendUvarint(b, uint64(len(v.l)))
+		for i := range v.l {
+			b = v.l[i].AppendWire(b)
+		}
+	}
+	return b
+}
+
+// DecodeWire consumes a Value encoded by AppendWire. String payloads are
+// interned — attribute values repeat across a fleet ("linux", "x86_64",
+// zone names) almost as much as attribute names do.
+func (v *Value) DecodeWire(r *wire.Reader) { v.decodeWire(r, 0) }
+
+func (v *Value) decodeWire(r *wire.Reader, depth int) {
+	if r.Err != nil {
+		*v = Value{}
+		return
+	}
+	if depth > maxWireDepth {
+		r.Err = fmt.Errorf("attr: wire decode: list nesting exceeds %d", maxWireDepth)
+		*v = Value{}
+		return
+	}
+	if len(r.B) < 1 {
+		r.Err = wire.ErrTruncated
+		*v = Value{}
+		return
+	}
+	k := Kind(r.B[0])
+	r.B = r.B[1:]
+	*v = Value{kind: k}
+	switch k {
+	case KindInvalid:
+	case KindString:
+		v.s = r.Sym()
+	case KindInt:
+		v.i = r.Varint()
+	case KindFloat:
+		v.f = r.Float64()
+	case KindBool:
+		v.b = r.Bool()
+	case KindList:
+		n := r.Len()
+		if r.Err != nil || n == 0 {
+			return
+		}
+		v.l = make([]Value, n)
+		for i := range v.l {
+			v.l[i].decodeWire(r, depth+1)
+		}
+	default:
+		r.Err = fmt.Errorf("attr: wire decode: invalid kind %d", int(k))
+		*v = Value{}
+	}
+}
+
+// AppendWirePairs appends a length-prefixed Pair slice.
+func AppendWirePairs(b []byte, ps []Pair) []byte {
+	b = wire.AppendUvarint(b, uint64(len(ps)))
+	for i := range ps {
+		b = wire.AppendString(b, ps[i].Name)
+		b = ps[i].Value.AppendWire(b)
+	}
+	return b
+}
+
+// DecodeWirePairs consumes a Pair slice, reusing reuse's capacity. Pair
+// names are interned.
+func DecodeWirePairs(r *wire.Reader, reuse []Pair) []Pair {
+	n := r.Len()
+	if r.Err != nil || n == 0 {
+		return nil
+	}
+	var out []Pair
+	if cap(reuse) >= n {
+		out = reuse[:n]
+	} else {
+		out = make([]Pair, n)
+	}
+	for i := range out {
+		out[i].Name = r.Sym()
+		out[i].Value.DecodeWire(r)
+	}
+	return out
+}

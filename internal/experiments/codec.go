@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"legion/internal/core"
+	"legion/internal/orb"
+	"legion/internal/resilient"
+	"legion/internal/sim"
+	"legion/internal/telemetry"
+	"legion/internal/vclock"
+)
+
+// codecCampaign is one reduced E12 run with a marshalling boundary on
+// local dispatch. Virtual time is untouched by the boundary (encoding
+// is synchronous CPU work, invisible to the discrete-event clock), so
+// the campaign's placements, sheds, latencies, and event trace must be
+// identical across codecs — only the wall-clock differs. That is the
+// point: the delta between two rows is pure codec cost, measured inside
+// the real placement pipeline rather than a microbenchmark loop.
+type codecRun struct {
+	res   *sim.DriverResult
+	wall  time.Duration
+	leaks int
+	trace []string
+}
+
+func runCodecCampaign(lc orb.LoopbackCodec, hosts, requests int, keepTrace bool) codecRun {
+	vc := vclock.NewVirtual()
+	ms := core.New("codec", core.Options{
+		Seed:    13,
+		Metrics: telemetry.NewRegistry(),
+		Clock:   vc,
+		Retry: resilient.Policy{
+			MaxAttempts: 2, BaseDelay: 5 * time.Millisecond,
+			Budget: 5 * time.Second, AttemptTimeout: 2 * time.Second,
+			Clock: vc, JitterRand: resilient.NewLockedRand(13),
+		},
+	})
+	defer ms.Close()
+	class := ms.DefineClass("Worker", nil)
+
+	rng := rand.New(rand.NewSource(13))
+	fleet := sim.Build(ms, rng, sim.RandomSpecs(rng, hosts, "z1", "z2"))
+
+	ms.Runtime().SetLatency(2*time.Millisecond, time.Millisecond)
+	ms.Runtime().SetLoopbackCodec(lc)
+
+	if keepTrace {
+		vc.StartTrace()
+	}
+	var res *sim.DriverResult
+	wall0 := time.Now()
+	vc.Run(func() {
+		res = fleet.Drive(context.Background(), class, sim.DriverConfig{
+			Clock:       vc,
+			Rate:        2000,
+			Requests:    requests,
+			Arrivals:    sim.Poisson,
+			Seed:        13,
+			Deadline:    10 * time.Second,
+			SnapshotTTL: 10 * time.Second,
+		})
+	})
+	run := codecRun{res: res, wall: time.Since(wall0)}
+	for _, h := range fleet.Hosts {
+		run.leaks += h.ActiveReservations() + h.RunningCount()
+	}
+	if keepTrace {
+		run.trace = vc.Trace()
+	}
+	return run
+}
+
+// E13CodecBoundary reruns a reduced E12 virtual-time campaign three
+// times — no marshalling boundary (E12's own configuration), the gob
+// stream codec, and the binary wire codec — and reports the wall-clock
+// cost of each. Every placement's argument and result crosses the
+// selected codec on local dispatch, exactly as it would cross a
+// connection, so the gob→binary delta is the serialization time the
+// new codec removes from the metasystem's hot path.
+//
+// hosts/requests <= 0 default to 10,000 hosts and 50,000 placements
+// (the committed EXPERIMENTS.md row, matching E12's CI-reduced size).
+func E13CodecBoundary(hosts, requests int) *Table {
+	if hosts <= 0 {
+		hosts = 10_000
+	}
+	if requests <= 0 {
+		requests = 50_000
+	}
+	t := &Table{
+		ID:    "E13",
+		Title: "Codec boundary: E12 campaign wall-clock under gob vs binary marshalling",
+		Header: []string{"codec", "hosts", "requests", "ok", "shed", "failed",
+			"p50", "p99", "vtime", "wall", "wall vs off", "leaks"},
+	}
+
+	base := runCodecCampaign(orb.LoopbackOff, hosts, requests, false)
+	for _, row := range []struct {
+		lc  orb.LoopbackCodec
+		run codecRun
+	}{
+		{orb.LoopbackOff, base},
+		{orb.LoopbackGob, runCodecCampaign(orb.LoopbackGob, hosts, requests, false)},
+		{orb.LoopbackBinary, runCodecCampaign(orb.LoopbackBinary, hosts, requests, false)},
+	} {
+		r := row.run
+		t.AddRow(row.lc.String(), hosts, requests, r.res.Succeeded, r.res.Shed, r.res.Failed,
+			r.res.Percentile(0.50), r.res.Percentile(0.99),
+			r.res.Elapsed.Round(time.Millisecond), r.wall.Round(time.Millisecond),
+			fmt.Sprintf("%+.0f%%", 100*(float64(r.wall)/float64(base.wall)-1)),
+			r.leaks)
+	}
+	t.Notes = append(t.Notes,
+		"same seed, same virtual-time schedule in all rows: placements, sheds, and virtual latencies are identical by construction (asserted by TestE13CodecDifferential)",
+		"loopback codec round-trips every method argument and result through the codec on local dispatch; 'off' is E12's own configuration",
+		"wall vs off = extra wall-clock the codec adds to the whole campaign; the gob-to-binary gap is the serialization cost the wire codec removes")
+	return t
+}

@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"strings"
+	"testing"
+
+	"legion/internal/orb"
+)
+
+// TestE13CodecDifferential is the codec analog of the E11 clock
+// differential: the marshalling boundary must be behaviourally
+// invisible. A reduced campaign runs under no boundary, the gob codec,
+// and the binary codec; all three must produce identical placement
+// outcomes and — because encoding is synchronous CPU work the virtual
+// clock cannot observe — byte-identical discrete-event traces.
+func TestE13CodecDifferential(t *testing.T) {
+	const hosts, requests = 400, 2_000
+
+	type fingerprint struct {
+		ok, shed, failed, leaks int
+		events                  int
+		traceHash               string
+	}
+	run := func(lc orb.LoopbackCodec) fingerprint {
+		r := runCodecCampaign(lc, hosts, requests, true)
+		sum := sha256.Sum256([]byte(strings.Join(r.trace, "\n")))
+		return fingerprint{
+			ok: r.res.Succeeded, shed: r.res.Shed, failed: r.res.Failed,
+			leaks: r.leaks, events: len(r.trace),
+			traceHash: hex.EncodeToString(sum[:8]),
+		}
+	}
+
+	off := run(orb.LoopbackOff)
+	if off.ok == 0 {
+		t.Fatalf("baseline campaign placed nothing: %+v", off)
+	}
+	if off.leaks != 0 {
+		t.Fatalf("baseline campaign leaked %d reservations/instances", off.leaks)
+	}
+	for _, lc := range []orb.LoopbackCodec{orb.LoopbackGob, orb.LoopbackBinary} {
+		got := run(lc)
+		if got != off {
+			t.Errorf("%v boundary diverges from baseline:\nbase:  %+v\ncodec: %+v", lc, off, got)
+		}
+	}
+}

@@ -10,6 +10,47 @@ import (
 	"sync/atomic"
 )
 
+// Limiter is a non-blocking concurrency bound over spawned goroutines:
+// the admission-control counterpart of Do's fixed-width fan-out. The ORB
+// server uses one to cap in-flight request handlers — a flood of frames
+// on one connection must shed, not spawn goroutines until memory is
+// exhausted.
+type Limiter struct {
+	limit    int64
+	inFlight atomic.Int64
+}
+
+// NewLimiter returns a Limiter admitting at most limit concurrent
+// tasks; limit < 1 panics, which is a configuration bug.
+func NewLimiter(limit int) *Limiter {
+	if limit < 1 {
+		panic("fanout: limiter needs limit >= 1")
+	}
+	return &Limiter{limit: int64(limit)}
+}
+
+// TryGo runs fn on a new goroutine if a slot is free, returning whether
+// it was admitted. It never blocks: at capacity it refuses immediately
+// so the caller can shed with a typed refusal instead of queueing
+// unboundedly.
+func (l *Limiter) TryGo(fn func()) bool {
+	if l.inFlight.Add(1) > l.limit {
+		l.inFlight.Add(-1)
+		return false
+	}
+	go func() {
+		defer l.inFlight.Add(-1)
+		fn()
+	}()
+	return true
+}
+
+// InFlight returns the number of currently admitted tasks.
+func (l *Limiter) InFlight() int { return int(l.inFlight.Load()) }
+
+// Limit returns the configured bound.
+func (l *Limiter) Limit() int { return int(l.limit) }
+
 // Do calls fn(i) for every i in [0, n), running at most limit calls
 // concurrently, and returns when all have finished. fn must write its
 // result into caller-owned slots indexed by i (never shared state), so

@@ -63,3 +63,79 @@ func TestDoZeroAndNegative(t *testing.T) {
 		t.Error("fn called for empty range")
 	}
 }
+
+func TestLimiterAdmitsUpToLimit(t *testing.T) {
+	l := NewLimiter(3)
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		if !l.TryGo(func() { defer wg.Done(); <-release }) {
+			t.Fatalf("task %d refused below limit", i)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for l.InFlight() != 3 {
+		if time.Now().After(deadline) {
+			t.Fatal("admitted tasks never counted in-flight")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if l.TryGo(func() {}) {
+		t.Fatal("admitted past the limit")
+	}
+	close(release)
+	wg.Wait()
+	for l.InFlight() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("slots never released")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	done := make(chan struct{})
+	if !l.TryGo(func() { close(done) }) {
+		t.Fatal("refused after slots freed")
+	}
+	<-done
+	if l.Limit() != 3 {
+		t.Fatalf("Limit() = %d, want 3", l.Limit())
+	}
+}
+
+func TestLimiterRefusalIsNonBlocking(t *testing.T) {
+	l := NewLimiter(1)
+	release := make(chan struct{})
+	defer close(release)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	if !l.TryGo(func() { defer wg.Done(); <-release }) {
+		t.Fatal("first task refused")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for l.InFlight() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("task never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	var ran atomic.Bool
+	start := time.Now()
+	if l.TryGo(func() { ran.Store(true) }) {
+		t.Fatal("admitted past the limit")
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("refusal blocked for %v", elapsed)
+	}
+	if ran.Load() {
+		t.Fatal("refused task ran anyway")
+	}
+}
+
+func TestLimiterPanicsOnBadLimit(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewLimiter(0) did not panic")
+		}
+	}()
+	NewLimiter(0)
+}

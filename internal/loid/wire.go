@@ -1,0 +1,48 @@
+package loid
+
+import "legion/internal/wire"
+
+// AppendWire appends the LOID in the ORB's binary wire format: domain,
+// class, instance. The nil LOID round-trips as two empty strings and a
+// zero serial.
+func (l LOID) AppendWire(b []byte) []byte {
+	b = wire.AppendString(b, l.Domain)
+	b = wire.AppendString(b, l.Class)
+	return wire.AppendUvarint(b, l.Instance)
+}
+
+// DecodeWire consumes a LOID encoded by AppendWire. Domain and class are
+// interned: a metasystem has a handful of domains and classes but mints
+// millions of LOIDs, so decoding must not re-allocate the names.
+func (l *LOID) DecodeWire(r *wire.Reader) {
+	l.Domain = r.Sym()
+	l.Class = r.Sym()
+	l.Instance = r.Uvarint()
+}
+
+// AppendWireSlice appends a length-prefixed LOID slice.
+func AppendWireSlice(b []byte, ls []LOID) []byte {
+	b = wire.AppendUvarint(b, uint64(len(ls)))
+	for i := range ls {
+		b = ls[i].AppendWire(b)
+	}
+	return b
+}
+
+// DecodeWireSlice consumes a LOID slice, reusing reuse's capacity.
+func DecodeWireSlice(r *wire.Reader, reuse []LOID) []LOID {
+	n := r.Len()
+	if r.Err != nil || n == 0 {
+		return nil
+	}
+	var out []LOID
+	if cap(reuse) >= n {
+		out = reuse[:n]
+	} else {
+		out = make([]LOID, n)
+	}
+	for i := range out {
+		out[i].DecodeWire(r)
+	}
+	return out
+}

@@ -1,0 +1,65 @@
+package opr
+
+import "legion/internal/wire"
+
+// AppendWire appends the OPR in the ORB's binary wire format.
+func (o *OPR) AppendWire(b []byte) []byte {
+	b = o.Object.AppendWire(b)
+	b = wire.AppendString(b, o.Class)
+	b = wire.AppendUvarint(b, o.Version)
+	b = wire.AppendTime(b, o.SavedAt)
+	b = wire.AppendBytes(b, o.Payload)
+	return append(b, o.Digest[:]...)
+}
+
+// DecodeWire consumes an OPR encoded by AppendWire, reusing the payload
+// slice's capacity.
+func (o *OPR) DecodeWire(r *wire.Reader) {
+	o.Object.DecodeWire(r)
+	o.Class = r.Sym()
+	o.Version = r.Uvarint()
+	o.SavedAt = r.Time()
+	o.Payload = r.Bytes(o.Payload)
+	if r.Err != nil {
+		return
+	}
+	if len(r.B) < len(o.Digest) {
+		r.Err = wire.ErrTruncated
+		return
+	}
+	copy(o.Digest[:], r.B)
+	r.B = r.B[len(o.Digest):]
+}
+
+// AppendWirePtr appends a presence byte and, when o is non-nil, the OPR
+// — the encoding of the protocol's optional *OPR fields.
+func AppendWirePtr(b []byte, o *OPR) []byte {
+	if o == nil {
+		return append(b, 0)
+	}
+	b = append(b, 1)
+	return o.AppendWire(b)
+}
+
+// DecodeWirePtr consumes an optional OPR encoded by AppendWirePtr,
+// reusing reuse (including its payload capacity) when present.
+func DecodeWirePtr(r *wire.Reader, reuse *OPR) *OPR {
+	if r.Err != nil {
+		return nil
+	}
+	if len(r.B) < 1 {
+		r.Err = wire.ErrTruncated
+		return nil
+	}
+	present := r.B[0]
+	r.B = r.B[1:]
+	if present == 0 {
+		return nil
+	}
+	o := reuse
+	if o == nil {
+		o = new(OPR)
+	}
+	o.DecodeWire(r)
+	return o
+}

@@ -1,0 +1,448 @@
+package orb
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"legion/internal/loid"
+	"legion/internal/telemetry"
+	"legion/internal/wire"
+)
+
+func init() {
+	// Package proto registers the real message types; these tests use a
+	// bare LOID as a stand-in payload, which needs gob registration for
+	// the fallback blob path.
+	RegisterWireType(loid.LOID{})
+}
+
+// codecEchoObj echoes its argument back; "fail" returns an error.
+type codecEchoObj struct {
+	l       loid.LOID
+	invoked atomic.Int64
+	block   chan struct{} // when non-nil, "hold" blocks until closed
+}
+
+func (o *codecEchoObj) LOID() loid.LOID { return o.l }
+
+func (o *codecEchoObj) Dispatch(ctx context.Context, method string, arg any) (any, error) {
+	o.invoked.Add(1)
+	switch method {
+	case "fail":
+		return nil, errors.New("codec test failure")
+	case "hold":
+		if o.block != nil {
+			select {
+			case <-o.block:
+			case <-ctx.Done():
+			}
+		}
+		return "held", nil
+	default:
+		return arg, nil
+	}
+}
+
+// startEcho returns a serving runtime, its echo object, and the address.
+func startEcho(t *testing.T) (*Runtime, *codecEchoObj, string) {
+	t.Helper()
+	server := NewRuntime("srv")
+	obj := &codecEchoObj{l: server.Mint("Echo")}
+	server.Register(obj)
+	addr, err := server.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { server.Close() })
+	return server, obj, addr
+}
+
+// TestMixedCodecInterop drives one server from a binary client and a
+// gob client at once: the server auto-detects each connection's codec
+// from its preamble, so mixed-version runtimes interoperate.
+func TestMixedCodecInterop(t *testing.T) {
+	_, obj, addr := startEcho(t)
+	ctx := context.Background()
+
+	for _, tc := range []struct {
+		name  string
+		codec WireCodec
+	}{
+		{"binary-client", CodecBinary},
+		{"gob-client", CodecGob},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			client := NewRuntime("cli-" + tc.name)
+			defer client.Close()
+			client.SetWireCodec(tc.codec)
+			client.Bind(obj.LOID(), addr)
+
+			// A registered wire type (echoed LOID inside a payload), a
+			// gob-fallback payload (plain string), and a nil round trip.
+			if res, err := client.Call(ctx, obj.LOID(), "echo", "hello"); err != nil || res != "hello" {
+				t.Fatalf("string echo: %v %v", res, err)
+			}
+			want := loid.LOID{Domain: "d", Class: "C", Instance: 9}
+			if res, err := client.Call(ctx, obj.LOID(), "echo", want); err != nil || res != want {
+				t.Fatalf("LOID echo: %v %v", res, err)
+			}
+			if res, err := client.Call(ctx, obj.LOID(), "echo", nil); err != nil || res != nil {
+				t.Fatalf("nil echo: %v %v", res, err)
+			}
+			// Errors cross with their message.
+			if _, err := client.Call(ctx, obj.LOID(), "fail", nil); err == nil ||
+				!strings.Contains(err.Error(), "codec test failure") {
+				t.Fatalf("error passthrough: %v", err)
+			}
+			// Unbound targets keep their typed identity.
+			if _, err := client.Call(ctx, loid.LOID{Domain: "srv", Class: "Nope", Instance: 1}, "echo", nil); !errors.Is(err, ErrNotBound) {
+				t.Fatalf("not-bound: %v", err)
+			}
+		})
+	}
+}
+
+// TestBinaryCodecConcurrentCalls hammers one binary connection from many
+// goroutines so frames coalesce, verifying responses route back to the
+// right callers.
+func TestBinaryCodecConcurrentCalls(t *testing.T) {
+	_, obj, addr := startEcho(t)
+	client := NewRuntime("cli")
+	defer client.Close()
+	client.Bind(obj.LOID(), addr)
+
+	const callers, calls = 16, 50
+	var wg sync.WaitGroup
+	errs := make(chan error, callers)
+	for g := 0; g < callers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < calls; i++ {
+				want := fmt.Sprintf("msg-%d-%d", g, i)
+				res, err := client.Call(context.Background(), obj.LOID(), "echo", want)
+				if err != nil || res != want {
+					errs <- fmt.Errorf("caller %d call %d: got %v, %v", g, i, res, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if n := obj.invoked.Load(); n != callers*calls {
+		t.Fatalf("dispatched %d calls, want %d", n, callers*calls)
+	}
+}
+
+// TestServerOverloadSheds verifies the server-wide handler bound: past
+// the limit, frames are refused immediately with ErrServerOverload, the
+// shed counter increments, and the connection keeps serving once
+// capacity frees up.
+func TestServerOverloadSheds(t *testing.T) {
+	for _, codec := range []WireCodec{CodecBinary, CodecGob} {
+		t.Run(codec.String(), func(t *testing.T) {
+			reg := telemetry.NewRegistry()
+			server := NewRuntime("srv")
+			server.SetMetrics(reg)
+			server.SetServerLimit(2)
+			obj := &codecEchoObj{l: server.Mint("Echo"), block: make(chan struct{})}
+			server.Register(obj)
+			addr, err := server.ListenAndServe("127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer server.Close()
+
+			client := NewRuntime("cli")
+			defer client.Close()
+			client.SetWireCodec(codec)
+			client.Bind(obj.LOID(), addr)
+			ctx := context.Background()
+
+			// Fill both handler slots with calls that park in the object.
+			var wg sync.WaitGroup
+			for i := 0; i < 2; i++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					if res, err := client.Call(ctx, obj.LOID(), "hold", nil); err != nil || res != "held" {
+						t.Errorf("held call: %v %v", res, err)
+					}
+				}()
+			}
+			deadline := time.Now().Add(5 * time.Second)
+			for server.serverLimiter().InFlight() != 2 {
+				if time.Now().After(deadline) {
+					t.Fatal("holders never occupied the limiter")
+				}
+				time.Sleep(time.Millisecond)
+			}
+
+			// The third frame must shed, typed and counted.
+			_, err = client.Call(ctx, obj.LOID(), "echo", "overflow")
+			if !errors.Is(err, ErrServerOverload) {
+				t.Fatalf("overload err=%v, want ErrServerOverload", err)
+			}
+			// The message carries the proto.ErrOverload prefix package
+			// resilient classifies as a permanent refusal.
+			if !strings.Contains(err.Error(), "legion: overloaded, request shed") {
+				t.Fatalf("overload message %q lacks the shed-classification prefix", err)
+			}
+			if n := reg.CounterValue("legion_orb_server_overload_total", "method", "echo"); n != 1 {
+				t.Fatalf("legion_orb_server_overload_total = %v, want 1", n)
+			}
+
+			// Capacity frees; the same connection serves again.
+			close(obj.block)
+			wg.Wait()
+			if res, err := client.Call(ctx, obj.LOID(), "echo", "after"); err != nil || res != "after" {
+				t.Fatalf("call after shed: %v %v", res, err)
+			}
+		})
+	}
+}
+
+// TestLoopbackCodecRoundTrips verifies the loopback marshalling boundary:
+// local dispatch sees a re-materialized argument (not the caller's
+// reference) under both codecs, and results round-trip equally.
+func TestLoopbackCodecRoundTrips(t *testing.T) {
+	for _, lc := range []LoopbackCodec{LoopbackGob, LoopbackBinary} {
+		t.Run(lc.String(), func(t *testing.T) {
+			rt := NewRuntime("local")
+			rt.SetLoopbackCodec(lc)
+			var seen any
+			obj := &funcObj{l: rt.Mint("Echo"), fn: func(arg any) (any, error) {
+				seen = arg
+				return arg, nil
+			}}
+			rt.Register(obj)
+
+			arg := loid.LOID{Domain: "d", Class: "C", Instance: 42}
+			res, err := rt.Call(context.Background(), obj.LOID(), "echo", arg)
+			if err != nil || res != arg {
+				t.Fatalf("loopback echo: %v %v", res, err)
+			}
+			if seen != arg {
+				t.Fatalf("dispatch saw %v, want %v", seen, arg)
+			}
+			// A byte slice crosses by value now: mutating the original
+			// after the call must not be visible to a retained argument.
+			raw := []byte{1, 2, 3}
+			if _, err := rt.Call(context.Background(), obj.LOID(), "echo", raw); err != nil {
+				t.Fatal(err)
+			}
+			raw[0] = 99
+			if got := seen.([]byte); got[0] != 1 {
+				t.Fatalf("loopback aliased the caller's slice: %v", got)
+			}
+		})
+	}
+}
+
+// funcObj adapts a closure to Object.
+type funcObj struct {
+	l  loid.LOID
+	fn func(arg any) (any, error)
+}
+
+func (o *funcObj) LOID() loid.LOID { return o.l }
+func (o *funcObj) Dispatch(ctx context.Context, method string, arg any) (any, error) {
+	return o.fn(arg)
+}
+
+// TestCoalescerCancelStates drives the frame-fate trichotomy directly:
+// flushed frames report flushed, pending frames excise cleanly (and the
+// buffer compacts around them), and frames inside a blocked write report
+// inflight.
+func TestCoalescerCancelStates(t *testing.T) {
+	// A writer that blocks until released, recording everything written.
+	w := &gateWriter{gate: make(chan struct{})}
+	co := newCoalescer(w, nil)
+
+	mk := func(tag byte, n int) func([]byte) []byte {
+		return func(b []byte) []byte {
+			for i := 0; i < n; i++ {
+				b = append(b, tag)
+			}
+			return b
+		}
+	}
+	id1, err := co.append(mk('a', 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait until frame 1's write is in flight.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		co.mu.Lock()
+		inFlight := co.writeLo != 0
+		co.mu.Unlock()
+		if inFlight {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("flusher never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := co.cancel(id1); got != cancelInflight {
+		t.Fatalf("cancel(in-flight) = %v, want inflight", got)
+	}
+
+	// Three more frames accumulate behind the blocked write; excising the
+	// middle one leaves the outer two intact.
+	id2, _ := co.append(mk('b', 2))
+	id3, _ := co.append(mk('c', 3))
+	id4, _ := co.append(mk('d', 2))
+	if got := co.cancel(id3); got != cancelExcised {
+		t.Fatalf("cancel(pending) = %v, want excised", got)
+	}
+	co.mu.Lock()
+	pending := string(co.pending)
+	co.mu.Unlock()
+	if pending != "bbdd" {
+		t.Fatalf("pending after excision = %q, want %q", pending, "bbdd")
+	}
+
+	// Release the writer; everything left flushes.
+	close(w.gate)
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		co.mu.Lock()
+		done := co.flushedID >= id4 && !co.flushing
+		co.mu.Unlock()
+		if done {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("frames never flushed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := co.cancel(id2); got != cancelFlushed {
+		t.Fatalf("cancel(flushed) = %v, want flushed", got)
+	}
+	w.mu.Lock()
+	written := string(w.buf)
+	w.mu.Unlock()
+	if written != "aaaa"+"bbdd" {
+		t.Fatalf("wrote %q, want %q", written, "aaaabbdd")
+	}
+}
+
+// gateWriter blocks each Write until its gate closes, then records.
+type gateWriter struct {
+	gate chan struct{}
+	mu   sync.Mutex
+	buf  []byte
+}
+
+func (w *gateWriter) Write(p []byte) (int, error) {
+	<-w.gate
+	w.mu.Lock()
+	w.buf = append(w.buf, p...)
+	w.mu.Unlock()
+	return len(p), nil
+}
+
+// TestPayloadRegistryFallback round-trips an unregistered type through
+// the gob-blob payload path.
+func TestPayloadRegistryFallback(t *testing.T) {
+	type weird struct{ X int } // never registered with RegisterWireMessage
+	RegisterWireType(weird{})
+	b, err := EncodePayloadBytes(weird{X: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := DecodePayloadBytes(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := v.(weird); !ok || got.X != 7 {
+		t.Fatalf("round trip = %#v", v)
+	}
+}
+
+// TestDecodePayloadRejectsGarbage feeds malformed payload bytes and
+// expects typed errors, never panics.
+func TestDecodePayloadRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		{},                  // missing tag
+		{0xFF},              // truncated uvarint
+		{2},                 // reserved tag below WireIDFirst with no decoder
+		{1},                 // gob tag with no blob
+		{1, 0x05, 1, 2},     // gob blob shorter than its prefix
+		{200, 1},            // unknown registered ID
+		wire.AppendUvarint(nil, 1<<40), // absurd tag
+	}
+	for i, b := range cases {
+		if _, err := DecodePayloadBytes(b); err == nil {
+			t.Fatalf("case %d (% x): decoded without error", i, b)
+		}
+	}
+}
+
+// TestRequestFrameRoundTrip exercises the header codec including
+// method interning: first use carries the name, repeats carry the bare
+// ID, and both sides stay in sync across frames.
+func TestRequestFrameRoundTrip(t *testing.T) {
+	var mi methodIntern
+	var mt methodTable
+	var scratch []byte
+	target := loid.LOID{Domain: "zone-1", Class: "Host", Instance: 31}
+
+	var frames [][]byte
+	for i := 0; i < 3; i++ {
+		method := "make_reservation"
+		if i == 1 {
+			method = "query"
+		}
+		req := request{
+			ID:       uint64(100 + i),
+			Target:   wireLOID{Domain: target.Domain, Class: target.Class, Instance: target.Instance},
+			Method:   method,
+			TraceID:  7,
+			SpanID:   8,
+			Deadline: 1234567890,
+		}
+		payload, err := AppendPayload(nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		frames = append(frames, appendRequestFrame(nil, &scratch, &mi, &req, payload))
+	}
+	// Frames 0 and 2 share a method: frame 2 must be smaller (bare ID).
+	if len(frames[2]) >= len(frames[0]) {
+		t.Fatalf("repeat-method frame (%dB) not smaller than introducing frame (%dB)",
+			len(frames[2]), len(frames[0]))
+	}
+	wantMethods := []string{"make_reservation", "query", "make_reservation"}
+	for i, f := range frames {
+		r := wire.NewReader(f)
+		if n := r.Len(); n != len(r.B) {
+			t.Fatalf("frame %d: length prefix %d over %d bytes", i, n, len(r.B))
+		}
+		meta, err := decodeRequestHeader(&r, &mt)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if meta.id != uint64(100+i) || meta.method != wantMethods[i] ||
+			meta.target != target || meta.traceID != 7 || meta.spanID != 8 ||
+			meta.deadline != 1234567890 {
+			t.Fatalf("frame %d decoded %+v", i, meta)
+		}
+		if arg, err := DecodePayload(&r); err != nil || arg != nil {
+			t.Fatalf("frame %d payload: %v %v", i, arg, err)
+		}
+	}
+}

@@ -98,6 +98,12 @@ func TestExpiredFrameRefusedWithoutDispatch(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer conn.Close()
+	// Select the gob fallback codec in the connection preamble, then
+	// speak raw gob frames — this doubles as coverage that a
+	// gob-negotiated connection serves.
+	if _, err := conn.Write([]byte{preambleMagic0, preambleMagic1, preambleVer, byte(CodecGob)}); err != nil {
+		t.Fatalf("preamble: %v", err)
+	}
 	enc := gob.NewEncoder(conn)
 	dec := gob.NewDecoder(conn)
 

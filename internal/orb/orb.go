@@ -25,16 +25,20 @@
 package orb
 
 import (
+	"bytes"
 	"context"
+	"encoding/gob"
 	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
 	"time"
 
+	"legion/internal/fanout"
 	"legion/internal/loid"
 	"legion/internal/telemetry"
 	"legion/internal/vclock"
+	"legion/internal/wire"
 )
 
 // Object is an active Legion object that can receive method calls.
@@ -97,13 +101,21 @@ type Runtime struct {
 
 	server *tcpServer
 
-	hooksMu sync.RWMutex
-	inject  FaultInjector
-	latency time.Duration
-	jitter  time.Duration
-	tracer  CallTracer
-	metrics *telemetry.Registry
-	clock   vclock.Clock
+	hooksMu   sync.RWMutex
+	inject    FaultInjector
+	latency   time.Duration
+	jitter    time.Duration
+	tracer    CallTracer
+	metrics   *telemetry.Registry
+	clock     vclock.Clock
+	loopback  LoopbackCodec
+	wireCodec WireCodec
+	srvLim    *fanout.Limiter
+
+	loopGobMu  sync.Mutex
+	loopGobBuf bytes.Buffer
+	loopGobEnc *gob.Encoder
+	loopGobDec *gob.Decoder
 
 	rngMu sync.Mutex
 	rng   *rand.Rand
@@ -114,15 +126,17 @@ type Runtime struct {
 // LOIDs minted through the runtime carry it.
 func NewRuntime(domain string) *Runtime {
 	return &Runtime{
-		name:    domain,
-		minter:  loid.NewMinter(domain),
-		objects: make(map[loid.LOID]Object),
-		remote:  make(map[loid.LOID]string),
-		domains: make(map[string]string),
-		clients: make(map[string]*tcpClient),
-		rng:     rand.New(rand.NewSource(1)),
-		metrics: telemetry.Default,
-		clock:   vclock.Wall,
+		name:      domain,
+		minter:    loid.NewMinter(domain),
+		objects:   make(map[loid.LOID]Object),
+		remote:    make(map[loid.LOID]string),
+		domains:   make(map[string]string),
+		clients:   make(map[string]*tcpClient),
+		rng:       rand.New(rand.NewSource(1)),
+		metrics:   telemetry.Default,
+		clock:     vclock.Wall,
+		wireCodec: CodecBinary,
+		srvLim:    fanout.NewLimiter(DefaultServerLimit),
 	}
 }
 
@@ -254,33 +268,185 @@ func (rt *Runtime) Clock() vclock.Clock {
 	return rt.clock
 }
 
+// SetWireCodec selects the codec this runtime's outbound connections
+// negotiate (default CodecBinary). Existing cached connections keep
+// their negotiated codec; call it before the first remote call.
+func (rt *Runtime) SetWireCodec(c WireCodec) {
+	rt.hooksMu.Lock()
+	defer rt.hooksMu.Unlock()
+	rt.wireCodec = c
+}
+
+// clientCodec returns the codec for new outbound connections.
+func (rt *Runtime) clientCodec() WireCodec {
+	rt.hooksMu.RLock()
+	defer rt.hooksMu.RUnlock()
+	return rt.wireCodec
+}
+
+// DefaultServerLimit is the default bound on concurrently executing
+// inbound request handlers across all of a runtime's server
+// connections. Past it, frames are shed with ErrServerOverload instead
+// of spawning goroutines until memory is exhausted.
+const DefaultServerLimit = 1024
+
+// SetServerLimit replaces the bound on concurrent inbound request
+// handlers. Call it before ListenAndServe; connections capture the
+// limiter when serving starts. limit < 1 panics.
+func (rt *Runtime) SetServerLimit(limit int) {
+	lim := fanout.NewLimiter(limit)
+	rt.hooksMu.Lock()
+	defer rt.hooksMu.Unlock()
+	rt.srvLim = lim
+}
+
+// serverLimiter returns the current inbound-handler limiter.
+func (rt *Runtime) serverLimiter() *fanout.Limiter {
+	rt.hooksMu.RLock()
+	defer rt.hooksMu.RUnlock()
+	return rt.srvLim
+}
+
+// LoopbackCodec selects whether local dispatch round-trips arguments
+// and results through a wire codec. Off (the default) passes values by
+// reference, as the runtime always has. The simulation harness turns
+// this on so in-process experiments pay honest per-call marshalling
+// cost — the virtual-time scale runs otherwise assume serialization is
+// free, which hides exactly the cost this codec exists to cut.
+type LoopbackCodec int
+
+// The loopback modes.
+const (
+	LoopbackOff LoopbackCodec = iota
+	// LoopbackGob round-trips through a persistent gob stream (type
+	// descriptors sent once, encodes serialized under one mutex —
+	// faithful to the real gob connection's cost shape).
+	LoopbackGob
+	// LoopbackBinary round-trips through the binary payload codec with
+	// pooled buffers, like a binary connection would.
+	LoopbackBinary
+)
+
+// String names the mode.
+func (lc LoopbackCodec) String() string {
+	switch lc {
+	case LoopbackGob:
+		return "gob"
+	case LoopbackBinary:
+		return "binary"
+	default:
+		return "off"
+	}
+}
+
+// SetLoopbackCodec installs (or, with LoopbackOff, removes) the
+// marshalling boundary on local dispatch.
+func (rt *Runtime) SetLoopbackCodec(lc LoopbackCodec) {
+	rt.hooksMu.Lock()
+	defer rt.hooksMu.Unlock()
+	rt.loopback = lc
+}
+
+// loopbackRoundTrip re-materializes v through the selected codec,
+// exactly as it would arrive on the far side of a connection.
+func (rt *Runtime) loopbackRoundTrip(lc LoopbackCodec, v any) (any, error) {
+	if lc == LoopbackBinary {
+		buf := wire.GetBuf()
+		defer wire.PutBuf(buf)
+		b, err := AppendPayload((*buf)[:0], v)
+		if err != nil {
+			return nil, err
+		}
+		*buf = b
+		r := wire.GetReader(b)
+		defer wire.PutReader(r)
+		return DecodePayload(r)
+	}
+	// Gob: one persistent stream per runtime, strictly alternating
+	// encode/decode over a shared buffer, serialized like a real
+	// connection's encMu.
+	rt.loopGobMu.Lock()
+	defer rt.loopGobMu.Unlock()
+	if rt.loopGobEnc == nil {
+		rt.loopGobEnc = gob.NewEncoder(&rt.loopGobBuf)
+		rt.loopGobDec = gob.NewDecoder(&rt.loopGobBuf)
+	}
+	if err := rt.loopGobEnc.Encode(gobPayload{V: v}); err != nil {
+		return nil, err
+	}
+	var p gobPayload
+	if err := rt.loopGobDec.Decode(&p); err != nil {
+		return nil, err
+	}
+	return p.V, nil
+}
+
+// dispatchLoopback is local dispatch with the marshalling boundary:
+// the argument crosses the codec inbound, the result (or the method's
+// error, re-materialized the way a response frame would carry it)
+// crosses outbound.
+func (rt *Runtime) dispatchLoopback(ctx context.Context, lc LoopbackCodec, obj Object, method string, arg any) (any, error) {
+	arg, err := rt.loopbackRoundTrip(lc, arg)
+	if err != nil {
+		return nil, fmt.Errorf("orb: loopback encode arg: %w", err)
+	}
+	res, err := obj.Dispatch(ctx, method, arg)
+	if err != nil {
+		kind, msg := encodeErr(err)
+		return nil, decodeErr(kind, msg)
+	}
+	res, err = rt.loopbackRoundTrip(lc, res)
+	if err != nil {
+		return nil, fmt.Errorf("orb: loopback encode result: %w", err)
+	}
+	return res, nil
+}
+
 // Call synchronously invokes method on the object named target, passing
 // arg and returning the method's result. It consults, in order: the fault
 // injector, the local object table, the per-LOID remote bindings, and the
 // per-domain bindings. Call honors ctx cancellation for remote calls and
 // latency simulation; local dispatch runs on the caller's goroutine.
 func (rt *Runtime) Call(ctx context.Context, target loid.LOID, method string, arg any) (any, error) {
+	// One hooksMu acquisition per call: Call is the hottest path in the
+	// system (every scheduler probe, query, and reservation goes through
+	// it), and the three separate RLocks this used to take were
+	// measurable at virtual-scale call volumes.
 	rt.hooksMu.RLock()
-	clock := rt.clock
+	h := callHooks{
+		clock:    rt.clock,
+		tracer:   rt.tracer,
+		inject:   rt.inject,
+		latency:  rt.latency,
+		jitter:   rt.jitter,
+		loopback: rt.loopback,
+	}
 	rt.hooksMu.RUnlock()
-	start := clock.Now()
-	res, err := rt.call(ctx, clock, target, method, arg)
-	rt.hooksMu.RLock()
-	tracer := rt.tracer
-	rt.hooksMu.RUnlock()
-	if tracer != nil {
-		tracer(rt.name, target, method, clock.Since(start), err)
+	start := h.clock.Now()
+	res, err := rt.call(ctx, h, target, method, arg)
+	if h.tracer != nil {
+		h.tracer(rt.name, target, method, h.clock.Since(start), err)
 	}
 	return res, err
 }
 
-func (rt *Runtime) call(ctx context.Context, clock vclock.Clock, target loid.LOID, method string, arg any) (any, error) {
+// callHooks is the per-call snapshot of the runtime's hook state, read
+// once under hooksMu at the top of Call.
+type callHooks struct {
+	clock    vclock.Clock
+	tracer   CallTracer
+	inject   FaultInjector
+	latency  time.Duration
+	jitter   time.Duration
+	loopback LoopbackCodec
+}
+
+func (rt *Runtime) call(ctx context.Context, h callHooks, target loid.LOID, method string, arg any) (any, error) {
 	if target.IsNil() {
 		return nil, fmt.Errorf("%w: nil LOID", ErrNotBound)
 	}
-	rt.hooksMu.RLock()
-	inject, latency, jitter := rt.inject, rt.latency, rt.jitter
-	rt.hooksMu.RUnlock()
+	inject, latency, jitter := h.inject, h.latency, h.jitter
+	clock := h.clock
 
 	if inject != nil {
 		if err := inject(target, method); err != nil {
@@ -308,6 +474,9 @@ func (rt *Runtime) call(ctx context.Context, clock vclock.Clock, target loid.LOI
 	rt.mu.RUnlock()
 
 	if local {
+		if h.loopback != LoopbackOff {
+			return rt.dispatchLoopback(ctx, h.loopback, obj, method, arg)
+		}
 		return obj.Dispatch(ctx, method, arg)
 	}
 	if bound {

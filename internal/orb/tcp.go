@@ -1,7 +1,9 @@
 package orb
 
 import (
+	"bufio"
 	"context"
+	"encoding/binary"
 	"encoding/gob"
 	"errors"
 	"fmt"
@@ -10,13 +12,17 @@ import (
 	"sync"
 	"time"
 
+	"legion/internal/fanout"
 	"legion/internal/loid"
 	"legion/internal/telemetry"
+	"legion/internal/wire"
 )
 
 // RegisterWireType registers a concrete type for transmission inside the
 // protocol's `any` argument/result slots. Packages defining message types
-// call this from init(); it wraps encoding/gob registration.
+// call this from init(); it wraps encoding/gob registration. Types that
+// additionally register a binary encoding (RegisterWireMessage) use it on
+// binary connections; everything else crosses as an inline gob blob.
 func RegisterWireType(v any) { gob.Register(v) }
 
 // request is one method invocation on the wire. TraceID/SpanID carry
@@ -50,7 +56,7 @@ type response struct {
 	ID      uint64
 	Result  any
 	ErrMsg  string
-	ErrKind int // 0 none, 1 generic, 2 not bound, 3 no method, 4 deadline expired
+	ErrKind int // 0 none, 1 generic, 2 not bound, 3 no method, 4 deadline expired, 5 overload
 }
 
 const (
@@ -59,6 +65,7 @@ const (
 	errKindNotBound
 	errKindNoMethod
 	errKindDeadline
+	errKindOverload
 )
 
 func encodeErr(err error) (int, string) {
@@ -71,6 +78,8 @@ func encodeErr(err error) (int, string) {
 		return errKindNoMethod, err.Error()
 	case errors.Is(err, ErrDeadlineExpired):
 		return errKindDeadline, err.Error()
+	case errors.Is(err, ErrServerOverload):
+		return errKindOverload, err.Error()
 	default:
 		return errKindGeneric, err.Error()
 	}
@@ -86,15 +95,28 @@ func decodeErr(kind int, msg string) error {
 		return fmt.Errorf("%w: %s", ErrNoMethod, msg)
 	case errKindDeadline:
 		return fmt.Errorf("%w: %s", ErrDeadlineExpired, msg)
+	case errKindOverload:
+		return fmt.Errorf("%w (remote)", ErrServerOverload)
 	default:
 		return &RemoteError{Msg: msg}
 	}
+}
+
+// requestMeta is the codec-independent header of one inbound request.
+type requestMeta struct {
+	id       uint64
+	target   loid.LOID
+	method   string
+	traceID  uint64
+	spanID   uint64
+	deadline int64
 }
 
 // tcpServer accepts connections and serves requests against a Runtime.
 type tcpServer struct {
 	rt     *Runtime
 	ln     net.Listener
+	lim    *fanout.Limiter
 	mu     sync.Mutex
 	cs     map[net.Conn]struct{}
 	wg     sync.WaitGroup
@@ -118,7 +140,8 @@ func (rt *Runtime) ListenAndServe(addr string) (string, error) {
 		return "", fmt.Errorf("orb: listen: %w", err)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
-	s := &tcpServer{rt: rt, ln: ln, cs: make(map[net.Conn]struct{}), ctx: ctx, cancel: cancel}
+	s := &tcpServer{rt: rt, ln: ln, lim: rt.serverLimiter(),
+		cs: make(map[net.Conn]struct{}), ctx: ctx, cancel: cancel}
 
 	rt.mu.Lock()
 	rt.server = s
@@ -186,6 +209,10 @@ func (s *tcpServer) acceptLoop() {
 	}
 }
 
+// serveConn reads the connection preamble and serves the codec the
+// client selected. A bad preamble drops the connection: every legion
+// runtime since the binary codec landed sends one, and refusing
+// preamble-less streams keeps stray connections from wedging a decoder.
 func (s *tcpServer) serveConn(conn net.Conn) {
 	defer s.wg.Done()
 	defer func() {
@@ -194,74 +221,196 @@ func (s *tcpServer) serveConn(conn net.Conn) {
 		delete(s.cs, conn)
 		s.mu.Unlock()
 	}()
+	var pre [preambleLen]byte
+	if _, err := io.ReadFull(conn, pre[:]); err != nil {
+		return
+	}
+	if pre[0] != preambleMagic0 || pre[1] != preambleMagic1 || pre[2] != preambleVer {
+		return
+	}
+	switch WireCodec(pre[3]) {
+	case CodecBinary:
+		s.serveBinary(conn)
+	case CodecGob:
+		s.serveGob(conn)
+	}
+}
+
+// process runs one decoded request against the runtime: span
+// re-parenting, propagated-deadline enforcement, dispatch, server-side
+// metrics. Both codecs share it.
+func (s *tcpServer) process(meta requestMeta, arg any) (any, error) {
+	ctx := telemetry.WithRemoteParent(s.ctx,
+		telemetry.SpanContext{TraceID: meta.traceID, SpanID: meta.spanID})
+	reg := s.rt.Metrics()
+	ctx, span := reg.Spans().StartIn(ctx, "rpc/"+meta.method, s.rt.Domain())
+	start := time.Now()
+	var res any
+	var err error
+	if meta.deadline != 0 {
+		dl := time.Unix(0, meta.deadline)
+		if !dl.After(time.Now()) {
+			// The caller abandoned this request before we even dequeued
+			// it: refuse without invoking the method so doomed work is
+			// shed at every hop, not just at the origin.
+			reg.Counter("legion_orb_deadline_expired_total",
+				"method", meta.method).Inc()
+			err = fmt.Errorf("%w: %s (deadline %s ago)",
+				ErrDeadlineExpired, meta.method,
+				time.Since(dl).Round(time.Millisecond))
+		} else {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithDeadline(ctx, dl)
+			defer cancel()
+		}
+	}
+	if err == nil {
+		res, err = s.rt.Call(ctx, meta.target, meta.method, arg)
+	}
+	span.Finish(err)
+	reg.Histogram("legion_orb_server_seconds", telemetry.LatencyBuckets,
+		"method", meta.method).ObserveSince(start)
+	if err != nil {
+		reg.Counter("legion_orb_server_errors_total", "method", meta.method).Inc()
+	}
+	return res, err
+}
+
+// shed records and reports a refused frame. The handler pool is full:
+// responding immediately (instead of queueing) gives the caller a typed
+// permanent refusal its retry policy will not amplify.
+func (s *tcpServer) shed(method string) error {
+	s.rt.Metrics().Counter("legion_orb_server_overload_total",
+		"method", method).Inc()
+	return ErrServerOverload
+}
+
+// serveGob is the fallback protocol: one gob stream each way, one
+// handler goroutine per request, bounded by the server-wide limiter.
+func (s *tcpServer) serveGob(conn net.Conn) {
 	dec := gob.NewDecoder(conn)
 	enc := gob.NewEncoder(conn)
 	var encMu sync.Mutex
 	var reqWG sync.WaitGroup
 	defer reqWG.Wait()
+	respond := func(resp response) {
+		encMu.Lock()
+		encodeFailed := enc.Encode(&resp) != nil
+		encMu.Unlock()
+		if encodeFailed {
+			conn.Close()
+		}
+	}
 	for {
 		var req request
 		if err := dec.Decode(&req); err != nil {
 			return // EOF or protocol error: drop the connection
 		}
+		meta := requestMeta{id: req.ID, target: loidFromWire(req.Target),
+			method: req.Method, traceID: req.TraceID, spanID: req.SpanID,
+			deadline: req.Deadline}
 		reqWG.Add(1)
-		go func(req request) {
+		admitted := s.lim.TryGo(func() {
 			defer reqWG.Done()
-			target := loidFromWire(req.Target)
-			// Re-install the caller's span from the wire metadata and
-			// record a server-side span + latency/error observation for
-			// this method.
-			ctx := telemetry.WithRemoteParent(s.ctx,
-				telemetry.SpanContext{TraceID: req.TraceID, SpanID: req.SpanID})
-			reg := s.rt.Metrics()
-			ctx, span := reg.Spans().StartIn(ctx, "rpc/"+req.Method, s.rt.Domain())
-			start := time.Now()
-			var res any
-			var err error
-			if req.Deadline != 0 {
-				dl := time.Unix(0, req.Deadline)
-				if !dl.After(time.Now()) {
-					// The caller abandoned this request before we even
-					// dequeued it: refuse without invoking the method so
-					// doomed work is shed at every hop, not just at the
-					// origin.
-					reg.Counter("legion_orb_deadline_expired_total",
-						"method", req.Method).Inc()
-					err = fmt.Errorf("%w: %s (deadline %s ago)",
-						ErrDeadlineExpired, req.Method,
-						time.Since(dl).Round(time.Millisecond))
-				} else {
-					var cancel context.CancelFunc
-					ctx, cancel = context.WithDeadline(ctx, dl)
-					defer cancel()
-				}
-			}
-			if err == nil {
-				res, err = s.rt.Call(ctx, target, req.Method, req.Arg)
-			}
-			span.Finish(err)
-			reg.Histogram("legion_orb_server_seconds", telemetry.LatencyBuckets,
-				"method", req.Method).ObserveSince(start)
-			if err != nil {
-				reg.Counter("legion_orb_server_errors_total", "method", req.Method).Inc()
-			}
+			res, err := s.process(meta, req.Arg)
 			kind, msg := encodeErr(err)
-			resp := response{ID: req.ID, Result: res, ErrMsg: msg, ErrKind: kind}
-			encMu.Lock()
-			encodeFailed := enc.Encode(&resp) != nil
-			encMu.Unlock()
-			if encodeFailed {
-				conn.Close()
-			}
-		}(req)
+			respond(response{ID: meta.id, Result: res, ErrMsg: msg, ErrKind: kind})
+		})
+		if !admitted {
+			reqWG.Done()
+			kind, msg := encodeErr(s.shed(meta.method))
+			respond(response{ID: meta.id, ErrMsg: msg, ErrKind: kind})
+		}
 	}
 }
 
-// tcpClient multiplexes calls to one remote runtime over one connection.
+// serveBinary is the binary protocol: length-prefixed frames, a
+// per-connection method table built as frames arrive, handler
+// goroutines bounded by the server-wide limiter, and responses
+// coalesced into batched writes.
+func (s *tcpServer) serveBinary(conn net.Conn) {
+	co := newCoalescer(conn, func(error) { conn.Close() })
+	var mt methodTable
+	br := bufio.NewReaderSize(conn, 64<<10)
+	var body []byte
+	var r wire.Reader // reused across frames: warm symbol cache, one allocation per connection
+	var reqWG sync.WaitGroup
+	defer reqWG.Wait()
+	for {
+		n, err := binary.ReadUvarint(br)
+		if err != nil || n > maxFrameLen {
+			return
+		}
+		if uint64(cap(body)) < n {
+			body = make([]byte, n)
+		}
+		body = body[:n]
+		if _, err := io.ReadFull(br, body); err != nil {
+			return
+		}
+		// Header and payload decode stay on the read loop: method-table
+		// updates must apply in frame order, and decoded values never
+		// alias body, so the buffer is immediately reusable.
+		r.Reset(body)
+		meta, err := decodeRequestHeader(&r, &mt)
+		if err != nil {
+			return // corrupt header: the stream is unrecoverable
+		}
+		arg, perr := DecodePayload(&r)
+		if perr == nil && len(r.B) != 0 {
+			perr = fmt.Errorf("orb: request frame has %d trailing bytes", len(r.B))
+		}
+		if perr != nil {
+			// The frame boundary is intact, so the connection survives a
+			// bad payload; only this request fails.
+			s.respondBinary(co, meta.id, nil, perr)
+			continue
+		}
+		reqWG.Add(1)
+		admitted := s.lim.TryGo(func() {
+			defer reqWG.Done()
+			res, err := s.process(meta, arg)
+			s.respondBinary(co, meta.id, res, err)
+		})
+		if !admitted {
+			reqWG.Done()
+			s.respondBinary(co, meta.id, nil, s.shed(meta.method))
+		}
+	}
+}
+
+// respondBinary encodes res outside the coalescer lock and appends one
+// response frame.
+func (s *tcpServer) respondBinary(co *coalescer, id uint64, res any, err error) {
+	payload := wire.GetBuf()
+	pb, perr := AppendPayload((*payload)[:0], res)
+	if perr != nil {
+		err = perr
+		pb, _ = AppendPayload((*payload)[:0], nil)
+	}
+	*payload = pb
+	kind, msg := encodeErr(err)
+	co.append(func(b []byte) []byte {
+		return appendResponseFrame(b, &co.scratch, id, kind, msg, *payload)
+	})
+	wire.PutBuf(payload)
+}
+
+// tcpClient multiplexes calls to one remote runtime over one connection,
+// speaking whichever codec was negotiated in the connection preamble.
 type tcpClient struct {
-	conn    net.Conn
-	enc     *gob.Encoder
-	encMu   sync.Mutex
+	conn  net.Conn
+	codec WireCodec
+
+	// gob codec: one stream encoder serialized by encMu.
+	enc   *gob.Encoder
+	encMu sync.Mutex
+
+	// binary codec: frames coalesce into batched writes; mi is the
+	// method-intern table, touched only inside co.append callbacks.
+	co *coalescer
+	mi methodIntern
+
 	onClose func(*tcpClient) // eviction hook, run once on first close
 
 	mu      sync.Mutex
@@ -270,22 +419,36 @@ type tcpClient struct {
 	err     error
 }
 
-func dialClient(addr string, onClose func(*tcpClient)) (*tcpClient, error) {
+func dialClient(addr string, codec WireCodec, onClose func(*tcpClient)) (*tcpClient, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("orb: dial %s: %w", addr, err)
 	}
+	pre := [preambleLen]byte{preambleMagic0, preambleMagic1, preambleVer, byte(codec)}
+	if _, err := conn.Write(pre[:]); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("orb: preamble %s: %w", addr, err)
+	}
 	c := &tcpClient{
 		conn:    conn,
-		enc:     gob.NewEncoder(conn),
+		codec:   codec,
 		onClose: onClose,
 		pending: make(map[uint64]chan response),
 	}
-	go c.readLoop()
+	switch codec {
+	case CodecGob:
+		c.enc = gob.NewEncoder(conn)
+		go c.readLoopGob()
+	default:
+		c.co = newCoalescer(conn, func(err error) {
+			c.close(fmt.Errorf("orb: send: %w", err))
+		})
+		go c.readLoopBinary()
+	}
 	return c, nil
 }
 
-func (c *tcpClient) readLoop() {
+func (c *tcpClient) readLoopGob() {
 	dec := gob.NewDecoder(c.conn)
 	for {
 		var resp response
@@ -296,13 +459,51 @@ func (c *tcpClient) readLoop() {
 			c.close(err)
 			return
 		}
-		c.mu.Lock()
-		ch, ok := c.pending[resp.ID]
-		delete(c.pending, resp.ID)
-		c.mu.Unlock()
-		if ok {
-			ch <- resp
+		c.deliver(resp)
+	}
+}
+
+func (c *tcpClient) readLoopBinary() {
+	br := bufio.NewReaderSize(c.conn, 64<<10)
+	var body []byte
+	var r wire.Reader // reused across frames: warm symbol cache
+	for {
+		n, err := binary.ReadUvarint(br)
+		if err != nil || n > maxFrameLen {
+			if err == nil {
+				err = fmt.Errorf("orb: response frame of %d bytes exceeds limit", n)
+			} else if err == io.EOF {
+				err = errors.New("orb: connection closed by peer")
+			}
+			c.close(err)
+			return
 		}
+		if uint64(cap(body)) < n {
+			body = make([]byte, n)
+		}
+		body = body[:n]
+		if _, err := io.ReadFull(br, body); err != nil {
+			c.close(err)
+			return
+		}
+		resp, err := decodeResponseFrame(&r, body)
+		if err != nil {
+			c.close(fmt.Errorf("orb: decode response: %w", err))
+			return
+		}
+		c.deliver(resp)
+	}
+}
+
+// deliver hands a response to its waiting caller; responses for
+// withdrawn IDs (caller gave up) are dropped.
+func (c *tcpClient) deliver(resp response) {
+	c.mu.Lock()
+	ch, ok := c.pending[resp.ID]
+	delete(c.pending, resp.ID)
+	c.mu.Unlock()
+	if ok {
+		ch <- resp
 	}
 }
 
@@ -330,10 +531,8 @@ func (c *tcpClient) close(err error) {
 	}
 }
 
-func (c *tcpClient) call(ctx context.Context, req request) (any, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
+// register allocates a request ID and its response channel.
+func (c *tcpClient) register(req *request) (chan response, error) {
 	ch := make(chan response, 1)
 	c.mu.Lock()
 	if c.err != nil {
@@ -345,6 +544,88 @@ func (c *tcpClient) call(ctx context.Context, req request) (any, error) {
 	req.ID = c.nextID
 	c.pending[req.ID] = ch
 	c.mu.Unlock()
+	return ch, nil
+}
+
+// withdraw removes a pending entry after the caller gave up on it.
+func (c *tcpClient) withdraw(id uint64) {
+	c.mu.Lock()
+	delete(c.pending, id)
+	c.mu.Unlock()
+}
+
+func (c *tcpClient) call(ctx context.Context, req request) (any, error) {
+	if c.codec == CodecGob {
+		return c.callGob(ctx, req)
+	}
+	return c.callBinary(ctx, req)
+}
+
+// callBinary sends one request over the coalesced binary path. The
+// payload is encoded outside every lock; only the small header encode
+// (which must be ordered with method interning) runs under the
+// coalescer lock. Appending never blocks — a wedged connection is the
+// flusher's problem — so the caller goes straight to the response wait,
+// and context expiry resolves through the coalescer's frame-fate
+// trichotomy: excised (nothing sent, connection lives), flushed
+// (response will be dropped, connection lives), or inflight (stream
+// integrity unknown, connection dies and the cache redials).
+func (c *tcpClient) callBinary(ctx context.Context, req request) (any, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	payload := wire.GetBuf()
+	pb, err := AppendPayload((*payload)[:0], req.Arg)
+	if err != nil {
+		wire.PutBuf(payload)
+		return nil, err
+	}
+	*payload = pb
+	// Large payload encodes take real time; don't enqueue a frame the
+	// caller has already abandoned.
+	if err := ctx.Err(); err != nil {
+		wire.PutBuf(payload)
+		return nil, err
+	}
+
+	ch, err := c.register(&req)
+	if err != nil {
+		wire.PutBuf(payload)
+		return nil, err
+	}
+	frameID, err := c.co.append(func(b []byte) []byte {
+		return appendRequestFrame(b, &c.co.scratch, &c.mi, &req, *payload)
+	})
+	wire.PutBuf(payload)
+	if err != nil {
+		c.withdraw(req.ID)
+		return nil, fmt.Errorf("orb: send: %w", err)
+	}
+
+	select {
+	case resp := <-ch:
+		return resp.Result, decodeErr(resp.ErrKind, resp.ErrMsg)
+	case <-ctx.Done():
+		c.withdraw(req.ID)
+		if c.co.cancel(frameID) == cancelInflight {
+			// Bytes of this frame may be half-written: the stream is
+			// unusable, so the whole client is closed; pending calls fail
+			// fast and the Runtime's eviction hook forces a redial.
+			c.close(fmt.Errorf("orb: send aborted: %w", ctx.Err()))
+		}
+		return nil, ctx.Err()
+	}
+}
+
+// callGob sends one request over the fallback gob stream.
+func (c *tcpClient) callGob(ctx context.Context, req request) (any, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	ch, err := c.register(&req)
+	if err != nil {
+		return nil, err
+	}
 
 	// Encode on a separate goroutine so a wedged connection (peer not
 	// draining, send buffers full) cannot hold the caller past its ctx.
@@ -377,9 +658,7 @@ func (c *tcpClient) call(ctx context.Context, req request) (any, error) {
 	select {
 	case err := <-encDone:
 		if err != nil {
-			c.mu.Lock()
-			delete(c.pending, req.ID)
-			c.mu.Unlock()
+			c.withdraw(req.ID)
 			c.close(fmt.Errorf("orb: send: %w", err))
 			return nil, fmt.Errorf("orb: send: %w", err)
 		}
@@ -390,9 +669,7 @@ func (c *tcpClient) call(ctx context.Context, req request) (any, error) {
 			sendAbandoned = true
 		}
 		sendMu.Unlock()
-		c.mu.Lock()
-		delete(c.pending, req.ID)
-		c.mu.Unlock()
+		c.withdraw(req.ID)
 		if !queued {
 			c.close(fmt.Errorf("orb: send aborted: %w", ctx.Err()))
 		}
@@ -406,9 +683,7 @@ func (c *tcpClient) call(ctx context.Context, req request) (any, error) {
 	case resp := <-ch:
 		return resp.Result, decodeErr(resp.ErrKind, resp.ErrMsg)
 	case <-ctx.Done():
-		c.mu.Lock()
-		delete(c.pending, req.ID)
-		c.mu.Unlock()
+		c.withdraw(req.ID)
 		return nil, ctx.Err()
 	}
 }
@@ -428,7 +703,7 @@ func (rt *Runtime) client(addr string) (*tcpClient, error) {
 		}
 		delete(rt.clients, addr)
 	}
-	c, err := dialClient(addr, func(dead *tcpClient) {
+	c, err := dialClient(addr, rt.clientCodec(), func(dead *tcpClient) {
 		rt.clientsMu.Lock()
 		if rt.clients[addr] == dead {
 			delete(rt.clients, addr)

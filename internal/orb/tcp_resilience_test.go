@@ -98,9 +98,10 @@ func TestDeadClientEvictedAndRedials(t *testing.T) {
 }
 
 // TestCallHonorsContextWhenConnectionWedged writes a payload larger than
-// the socket buffers to a peer that never reads, so the gob encode
-// blocks, and verifies the call returns on ctx expiry (closing the
-// now-unusable client) instead of hanging, with no pending-request leak.
+// the socket buffers to a peer that never reads, so the flush blocks
+// mid-write, and verifies the call returns on ctx expiry (closing the
+// now-unusable client, since its stream may be cut mid-frame) instead of
+// hanging, with no pending-request leak.
 func TestCallHonorsContextWhenConnectionWedged(t *testing.T) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -121,25 +122,48 @@ func TestCallHonorsContextWhenConnectionWedged(t *testing.T) {
 	client.Bind(target, ln.Addr().String())
 
 	payload := make([]byte, 16<<20) // far beyond loopback socket buffers
-	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
-	start := time.Now()
-	_, err = client.Call(ctx, target, "ingest", payload)
-	if !errors.Is(err, context.DeadlineExceeded) {
-		t.Fatalf("err=%v, want deadline exceeded", err)
+	done := make(chan error, 1)
+	go func() {
+		_, cerr := client.Call(ctx, target, "ingest", payload)
+		done <- cerr
+	}()
+
+	// Expire the ctx only once the frame's write is verifiably in flight
+	// — the case where the stream's integrity is unknown and the client
+	// must die. (Expiry before that point excises the frame and keeps the
+	// connection, which TestPendingFrameTimeoutLeavesConnectionAlive
+	// covers.)
+	var c *tcpClient
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if c == nil && clientCount(client) == 1 {
+			c, _ = client.client(ln.Addr().String())
+		}
+		if c != nil {
+			c.co.mu.Lock()
+			inFlight := c.co.writeLo != 0
+			c.co.mu.Unlock()
+			if inFlight {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("wedged frame's write never started")
+		}
+		time.Sleep(time.Millisecond)
 	}
-	// Generous bound: gob-encoding the payload before the write wedges is
-	// itself multi-second work under the race detector; "hung" means the
-	// call waited on the socket rather than on ctx.
-	if elapsed := time.Since(start); elapsed > 8*time.Second {
-		t.Fatalf("call hung %v on a wedged connection", elapsed)
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("err=%v, want canceled", err)
 	}
 	if n := pendingCount(client); n != 0 {
 		t.Fatalf("pending requests leaked: %d", n)
 	}
 	// The wedged client was closed and evicted. The poll exits as soon as
 	// eviction lands; the deadline only bounds a genuinely stuck cleanup.
-	deadline := time.Now().Add(10 * time.Second)
+	deadline = time.Now().Add(10 * time.Second)
 	for clientCount(client) != 0 {
 		if time.Now().After(deadline) {
 			t.Fatal("wedged client never evicted")
@@ -154,11 +178,13 @@ func TestCallHonorsContextWhenConnectionWedged(t *testing.T) {
 }
 
 // TestQueuedSendTimeoutLeavesConnectionAlive expires a call's ctx while
-// it is merely queued on the encoder mutex behind another caller's
+// it is merely queued on the gob encoder mutex behind another caller's
 // encode. Nothing of its message has touched the wire, so the shared
 // connection must survive: closing it would cascade one short attempt
 // timeout under load into connection-wide failures feeding breakers and
-// liveness with false positives.
+// liveness with false positives. (The binary codec's equivalent
+// guarantee — pending-frame excision — is covered by
+// TestPendingFrameTimeoutLeavesConnectionAlive.)
 func TestQueuedSendTimeoutLeavesConnectionAlive(t *testing.T) {
 	server := NewRuntime("srv")
 	obj := &slowObj{l: server.Mint("Echo")}
@@ -171,6 +197,7 @@ func TestQueuedSendTimeoutLeavesConnectionAlive(t *testing.T) {
 
 	client := NewRuntime("cli")
 	defer client.Close()
+	client.SetWireCodec(CodecGob) // encMu queueing exists only on the gob path
 	client.Bind(obj.LOID(), addr)
 
 	// Warm the connection, then grab the encoder mutex as a stand-in for
@@ -207,6 +234,101 @@ func TestQueuedSendTimeoutLeavesConnectionAlive(t *testing.T) {
 	}
 	if res, err := client.Call(context.Background(), obj.LOID(), "fast", nil); err != nil || res != "done" {
 		t.Fatalf("call after queued timeout: %v %v", res, err)
+	}
+}
+
+// TestPendingFrameTimeoutLeavesConnectionAlive is the binary codec's
+// counterpart of the queued-send guarantee: a frame whose ctx expires
+// while it still sits in the coalescer's pending buffer (behind a write
+// that is wedged on a peer that never reads) is excised in place —
+// nothing of it touched the wire, so the shared connection must not be
+// closed.
+func TestPendingFrameTimeoutLeavesConnectionAlive(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		conn, aerr := ln.Accept()
+		if aerr == nil {
+			accepted <- conn // hold open, never read
+		}
+	}()
+
+	client := NewRuntime("cli")
+	defer client.Close()
+	target := loid.LOID{Domain: "srv", Class: "Sink", Instance: 1}
+	client.Bind(target, ln.Addr().String())
+
+	// Wedge the flusher: a payload far beyond the socket buffers blocks
+	// its conn.Write because the peer never reads.
+	bigCtx, bigCancel := context.WithCancel(context.Background())
+	defer bigCancel()
+	bigDone := make(chan error, 1)
+	go func() {
+		_, cerr := client.Call(bigCtx, target, "ingest", make([]byte, 16<<20))
+		bigDone <- cerr
+	}()
+
+	// Wait until the big frame's write is in flight.
+	var c *tcpClient
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if c == nil && clientCount(client) == 1 {
+			c, _ = client.client(ln.Addr().String())
+		}
+		if c != nil {
+			c.co.mu.Lock()
+			inFlight := c.co.writeLo != 0
+			c.co.mu.Unlock()
+			if inFlight {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("big frame's write never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// A second call lands in the pending buffer behind the wedged write;
+	// its ctx expires there, so it must be excised without closing the
+	// connection.
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if _, err := client.Call(ctx, target, "probe", nil); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("pending call: err=%v, want deadline exceeded", err)
+	}
+	c.mu.Lock()
+	alive := c.err == nil
+	c.mu.Unlock()
+	if !alive {
+		t.Fatal("client closed by a merely-pending frame timeout")
+	}
+	if clientCount(client) != 1 {
+		t.Fatalf("clients cached: %d, want 1 (pending-frame timeout must not evict)", clientCount(client))
+	}
+	// Only the wedged big call may still be pending.
+	if n := pendingCount(client); n != 1 {
+		t.Fatalf("pending requests: %d, want 1 (excised call must withdraw)", n)
+	}
+	c.co.mu.Lock()
+	residual := len(c.co.spans)
+	c.co.mu.Unlock()
+	if residual != 0 {
+		t.Fatalf("excised frame left %d spans in the pending buffer", residual)
+	}
+
+	bigCancel()
+	if err := <-bigDone; !errors.Is(err, context.Canceled) {
+		t.Fatalf("wedged call: err=%v, want canceled", err)
+	}
+	select {
+	case conn := <-accepted:
+		conn.Close()
+	default:
 	}
 }
 

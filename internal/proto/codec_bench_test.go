@@ -1,0 +1,151 @@
+package proto
+
+import (
+	"bytes"
+	"encoding/gob"
+	"io"
+	"testing"
+
+	"legion/internal/wire"
+)
+
+// The codec benchmarks compare the hand-rolled binary wire format
+// against streaming gob — the fairest gob configuration: a persistent
+// encoder/decoder pair amortizes type descriptors across frames exactly
+// as the old one-gob-stream-per-connection transport did.
+
+func benchFixtures() (MakeReservationsArgs, QueryReply) {
+	return MakeReservationsArgs{Request: fixtureRequestList(32), RequesterDomain: "zone-2"},
+		fixtureQueryReply(100)
+}
+
+func benchmarkBinaryEncode(b *testing.B, v interface{ AppendWire([]byte) []byte }) {
+	buf := v.AppendWire(nil)
+	b.SetBytes(int64(len(buf)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = v.AppendWire(buf[:0])
+	}
+}
+
+func benchmarkGobEncode(b *testing.B, v any) {
+	enc := gob.NewEncoder(io.Discard)
+	if err := enc.Encode(v); err != nil { // prime type descriptors
+		b.Fatal(err)
+	}
+	var n bytes.Buffer
+	probe := gob.NewEncoder(&n)
+	probe.Encode(v)
+	first := n.Len()
+	probe.Encode(v)
+	b.SetBytes(int64(n.Len() - first)) // steady-state frame size
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := enc.Encode(v); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCodecEncode(b *testing.B) {
+	mra, rep := benchFixtures()
+	b.Run("MakeReservationsArgs/binary", func(b *testing.B) { benchmarkBinaryEncode(b, &mra) })
+	b.Run("MakeReservationsArgs/gob", func(b *testing.B) { benchmarkGobEncode(b, &mra) })
+	b.Run("QueryReply/binary", func(b *testing.B) { benchmarkBinaryEncode(b, &rep) })
+	b.Run("QueryReply/gob", func(b *testing.B) { benchmarkGobEncode(b, &rep) })
+}
+
+type wireDecodable interface{ DecodeWire(*wire.Reader) }
+
+func benchmarkBinaryDecode(b *testing.B, enc []byte, out wireDecodable) {
+	// One Reader reused across frames, as the per-connection read loops do.
+	var r wire.Reader
+	r.Reset(enc)
+	out.DecodeWire(&r) // warm slice capacities and the symbol caches
+	if r.Err != nil {
+		b.Fatal(r.Err)
+	}
+	b.SetBytes(int64(len(enc)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Reset(enc)
+		out.DecodeWire(&r)
+		if r.Err != nil {
+			b.Fatal(r.Err)
+		}
+	}
+}
+
+// repeatReader replays a primer (gob type descriptors + first frame)
+// once, then yields the steady-state frame forever, so a persistent
+// gob decoder can consume b.N frames without re-encoding.
+type repeatReader struct {
+	primer, frame []byte
+	pos           []byte
+	primed        bool
+}
+
+func (r *repeatReader) Read(p []byte) (int, error) {
+	if len(r.pos) == 0 {
+		if !r.primed {
+			r.primed = true
+			r.pos = r.primer
+		} else {
+			r.pos = r.frame
+		}
+	}
+	n := copy(p, r.pos)
+	r.pos = r.pos[n:]
+	return n, nil
+}
+
+func benchmarkGobDecode(b *testing.B, v any, out any) {
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&buf)
+	if err := enc.Encode(v); err != nil {
+		b.Fatal(err)
+	}
+	first := buf.Len()
+	if err := enc.Encode(v); err != nil {
+		b.Fatal(err)
+	}
+	all := buf.Bytes()
+	rr := &repeatReader{primer: all[:first], frame: all[first:]}
+	dec := gob.NewDecoder(rr)
+	if err := dec.Decode(out); err != nil { // consume primer
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(rr.frame)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := dec.Decode(out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCodecDecode(b *testing.B) {
+	mra, rep := benchFixtures()
+	encMRA := mra.AppendWire(nil)
+	encRep := rep.AppendWire(nil)
+	b.Run("MakeReservationsArgs/binary", func(b *testing.B) {
+		var out MakeReservationsArgs
+		benchmarkBinaryDecode(b, encMRA, &out)
+	})
+	b.Run("MakeReservationsArgs/gob", func(b *testing.B) {
+		var out MakeReservationsArgs
+		benchmarkGobDecode(b, &mra, &out)
+	})
+	b.Run("QueryReply/binary", func(b *testing.B) {
+		var out QueryReply
+		benchmarkBinaryDecode(b, encRep, &out)
+	})
+	b.Run("QueryReply/gob", func(b *testing.B) {
+		var out QueryReply
+		benchmarkGobDecode(b, &rep, &out)
+	})
+}

@@ -1,0 +1,59 @@
+package reservation
+
+import "legion/internal/wire"
+
+// AppendWire appends the Type's two classification bits packed into one
+// byte (bit 0 = share, bit 1 = reuse).
+func (t Type) AppendWire(b []byte) []byte {
+	var v byte
+	if t.Share {
+		v |= 1
+	}
+	if t.Reuse {
+		v |= 2
+	}
+	return append(b, v)
+}
+
+// DecodeWire consumes a Type encoded by AppendWire.
+func (t *Type) DecodeWire(r *wire.Reader) {
+	if r.Err != nil {
+		return
+	}
+	if len(r.B) < 1 {
+		r.Err = wire.ErrTruncated
+		return
+	}
+	v := r.B[0]
+	r.B = r.B[1:]
+	t.Share = v&1 != 0
+	t.Reuse = v&2 != 0
+}
+
+// AppendWire appends the Token in the ORB's binary wire format. Every
+// authenticated field crosses as-is; the MAC stays opaque, exactly as
+// the paper requires ("it is not necessary for any other object in the
+// system to be able to decode the reservation token").
+func (t *Token) AppendWire(b []byte) []byte {
+	b = wire.AppendUvarint(b, t.ID)
+	b = t.Host.AppendWire(b)
+	b = t.Vault.AppendWire(b)
+	b = t.Type.AppendWire(b)
+	b = wire.AppendTime(b, t.Start)
+	b = wire.AppendDuration(b, t.Duration)
+	b = wire.AppendDuration(b, t.Timeout)
+	return wire.AppendBytes(b, t.MAC)
+}
+
+// DecodeWire consumes a Token encoded by AppendWire, reusing the MAC
+// slice's capacity.
+func (t *Token) DecodeWire(r *wire.Reader) {
+	t.ID = r.Uvarint()
+	t.Host.DecodeWire(r)
+	t.Vault.DecodeWire(r)
+	t.Type.DecodeWire(r)
+	t.Start = r.Time()
+	t.Duration = r.Duration()
+	t.Timeout = r.Duration()
+	t.MAC = r.Bytes(t.MAC)
+}

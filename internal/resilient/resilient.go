@@ -128,8 +128,10 @@ func Classify(err error) Class {
 		return ClassPermanent
 	case errors.Is(err, orb.ErrNotBound), errors.Is(err, orb.ErrNoMethod):
 		return ClassPermanent
-	case errors.Is(err, proto.ErrOverload), errors.Is(err, orb.ErrDeadlineExpired):
-		// A shed or an expired-on-arrival frame is a refusal by a live
+	case errors.Is(err, proto.ErrOverload), errors.Is(err, orb.ErrServerOverload),
+		errors.Is(err, orb.ErrDeadlineExpired):
+		// A shed (application-level or by the orb server's admission
+		// limiter) or an expired-on-arrival frame is a refusal by a live
 		// server: retrying the same call feeds the overload. Callers fall
 		// through to their protocol-level logic (regenerate, back off)
 		// and breakers never count it as a strike.

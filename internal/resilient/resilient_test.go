@@ -28,6 +28,8 @@ func TestClassify(t *testing.T) {
 		{"policy", fmt.Errorf("%w: domain refused", host.ErrPolicy), ClassPermanent},
 		{"conflict", fmt.Errorf("%w: slot", reservation.ErrConflict), ClassPermanent},
 		{"circuit open", fmt.Errorf("%w: cooling", ErrCircuitOpen), ClassPermanent},
+		{"server shed", fmt.Errorf("%w (remote)", orb.ErrServerOverload), ClassPermanent},
+		{"remote server shed", &orb.RemoteError{Msg: orb.ErrServerOverload.Error()}, ClassPermanent},
 		// Remote echoes: sentinel identity lost, message preserved.
 		{"remote policy", &orb.RemoteError{Msg: "host: refused by local placement policy: domain \"uva\" refused"}, ClassPermanent},
 		{"remote conflict", &orb.RemoteError{Msg: "reservation: conflicts with existing reservation: [a,b)"}, ClassPermanent},
