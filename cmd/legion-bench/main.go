@@ -48,6 +48,13 @@ var (
 	e13Requests = 50_000
 )
 
+// e14Hosts/e14Requests size E14's computational-economy campaign;
+// -hosts/-requests override these too.
+var (
+	e14Hosts    = 10_000
+	e14Requests = 20_000
+)
+
 func catalogue() []experiment {
 	return []experiment{
 		{"T1", "Host interface per-op latency (Table 1)", func() *experiments.Table {
@@ -122,6 +129,9 @@ func catalogue() []experiment {
 		{"E13", "Codec boundary: E12 wall-clock under gob vs binary marshalling", func() *experiments.Table {
 			return experiments.E13CodecBoundary(e13Hosts, e13Requests)
 		}},
+		{"E14", "Computational economy: deadline/budget scheduling vs cost-blind policies", func() *experiments.Table {
+			return experiments.E14Economy(e14Hosts, e14Requests)
+		}},
 		{"A1", "Ablation: variants vs regenerate", func() *experiments.Table {
 			return experiments.A1VariantVsRegenerate(30, 3)
 		}},
@@ -146,8 +156,8 @@ func main() {
 		asJSON    = flag.Bool("json", false, "emit the result tables as a JSON array instead of text")
 		compare   = flag.String("compare", "", "diff this run's tables against a baseline -json file; exits nonzero past LEGION_BENCH_DRIFT_MAX (fraction, unset = report only)")
 		virtual   = flag.Bool("virtual", false, "run E12 at full committed scale (100k hosts / 1M placements; implies -run E12 when -run is unset)")
-		hosts     = flag.Int("hosts", 0, "override E12/E13 fleet size (virtual-time hosts)")
-		requests  = flag.Int("requests", 0, "override E12/E13 placement count")
+		hosts     = flag.Int("hosts", 0, "override E12/E13/E14 fleet size (virtual-time hosts)")
+		requests  = flag.Int("requests", 0, "override E12/E13/E14 placement count")
 		input     = flag.String("input", "", "load tables from this -json output file instead of running experiments (for -compare/-slo on recorded results)")
 		slo       = flag.Bool("slo", false, "after running, check LEGION_PERF_* env ceilings against the result tables; exits 3 on violation")
 	)
@@ -162,10 +172,10 @@ func main() {
 		}
 	}
 	if *hosts > 0 {
-		e12Hosts, e13Hosts = *hosts, *hosts
+		e12Hosts, e13Hosts, e14Hosts = *hosts, *hosts, *hosts
 	}
 	if *requests > 0 {
-		e12Requests, e13Requests = *requests, *requests
+		e12Requests, e13Requests, e14Requests = *requests, *requests, *requests
 	}
 
 	cat := catalogue()

@@ -40,6 +40,12 @@ var sloSpecs = []sloSpec{
 	{env: "LEGION_PERF_E13_BINARY_WALL_MS_MAX", table: "E13",
 		match: []string{"binary"}, col: "wall",
 		toUnit: 1e3, unitTag: "ms"},
+	{env: "LEGION_PERF_E14_DB_P99_MS_MAX", table: "E14",
+		match: []string{"deadline-budget"}, col: "p99",
+		toUnit: 1e3, unitTag: "ms"},
+	{env: "LEGION_PERF_E14_DB_SPEND_PCT_MAX", table: "E14",
+		match: []string{"deadline-budget"}, col: "spend vs random",
+		toUnit: 1, unitTag: "%"},
 }
 
 // findCell locates the spec's cell in the run's tables.

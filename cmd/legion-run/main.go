@@ -28,11 +28,14 @@ func main() {
 		domain    = flag.String("domain", "uva", "legiond administrative domain")
 		className = flag.String("class", "Worker", "object class to instantiate")
 		count     = flag.Int("count", 4, "number of instances")
-		policy    = flag.String("scheduler", "irs", "random | irs | rr | load | cost")
+		policy    = flag.String("scheduler", "irs", "random | irs | rr | load | cost | economy")
 		seed      = flag.Int64("seed", 0, "RNG seed (0 = time-based)")
 		share     = flag.Bool("share", true, "timesharing reservations")
 		duration  = flag.Duration("duration", time.Hour, "reservation duration")
 		ping      = flag.Bool("ping", true, "ping created instances")
+		tenant    = flag.String("tenant", "", "tenant account billed for the placement (requires an economy-enabled node)")
+		deadline  = flag.Duration("deadline", 0, "completion deadline the economy scheduler places against (0 = none)")
+		budget    = flag.Float64("budget", 0, "spend cap for this request in credit units (0 = unlimited)")
 	)
 	flag.Parse()
 
@@ -70,6 +73,8 @@ func main() {
 		gen = scheduler.LoadAware{}
 	case "cost":
 		gen = scheduler.CostAware{}
+	case "economy":
+		gen = scheduler.DeadlineBudget{Estimate: *duration}
 	default:
 		log.Fatalf("unknown scheduler %q", *policy)
 	}
@@ -81,7 +86,8 @@ func main() {
 	}
 	req := scheduler.Request{
 		Classes: []scheduler.ClassRequest{{Class: classL, Count: *count}},
-		Res:     sched.ReservationSpec{Share: *share, Reuse: true, Duration: *duration},
+		Res: sched.ReservationSpec{Share: *share, Reuse: true, Duration: *duration,
+			Tenant: *tenant, Deadline: *deadline, Budget: *budget},
 	}
 
 	t0 := time.Now()

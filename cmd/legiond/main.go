@@ -18,11 +18,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"time"
 
 	"legion/internal/batchq"
 	"legion/internal/classobj"
 	"legion/internal/core"
+	"legion/internal/economy"
 	"legion/internal/host"
 	"legion/internal/loid"
 	"legion/internal/proto"
@@ -51,6 +54,9 @@ func main() {
 		shedMinPrio  = flag.Int("shed-min-priority", 1, "lowest priority that still rides through above the watermark")
 		reapInterval = flag.Duration("reap-interval", 30*time.Second, "host reservation reaper interval (0 disables the reaper)")
 
+		hostPrice    = flag.Float64("host-price", 0, "advertised per-instance-hour price on every host ($host_price); >0 enables the economy ledger")
+		tenantBudget = flag.String("tenant-budget", "", "comma-separated tenant=budget pairs (credit units) to open on the economy ledger, e.g. astro=100,bio=50; enables the ledger")
+
 		rebalanceOn   = flag.Bool("rebalance", false, "run the rebalance subsystem: overload triggers migrate objects off hot hosts")
 		rebalanceTh   = flag.Float64("rebalance-threshold", 0.8, "host load above which the overload trigger fires")
 		rebalanceCool = flag.Duration("rebalance-cooldown", 10*time.Second, "per-host hysteresis window between sheds")
@@ -77,8 +83,25 @@ func main() {
 		AdmissionQueue:  *admissionQ,
 		ShedWatermark:   *shedWater,
 		ShedMinPriority: *shedMinPrio,
+		Economy:         *hostPrice > 0 || *tenantBudget != "",
 	})
 	defer ms.Close()
+
+	if *tenantBudget != "" {
+		led := ms.Ledger()
+		for _, kv := range strings.Split(*tenantBudget, ",") {
+			name, val, ok := strings.Cut(strings.TrimSpace(kv), "=")
+			if !ok {
+				log.Fatalf("legiond: -tenant-budget entry %q is not tenant=budget", kv)
+			}
+			units, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				log.Fatalf("legiond: -tenant-budget %q: %v", kv, err)
+			}
+			led.Open(name, economy.ToCredits(units))
+			log.Printf("legiond: economy account %q opened with budget %.2f", name, units)
+		}
+	}
 
 	// startHost wires the periodic loops every host needs: state
 	// reassessment pushes into the Collection, and the reservation
@@ -103,6 +126,7 @@ func main() {
 		startHost(ms.AddHost(host.Config{
 			Arch: *arch, OS: *osName, OSVersion: "2.2",
 			CPUs: *cpus, MemoryMB: *memMB, Zone: *domain,
+			Price:  *hostPrice,
 			Vaults: []loid.LOID{v.LOID()},
 		}))
 	}
@@ -115,6 +139,7 @@ func main() {
 		startHost(ms.AddHost(host.Config{
 			Arch: *arch, OS: *osName, OSVersion: "2.2",
 			CPUs: *cpus, MemoryMB: *memMB, Zone: *domain,
+			Price:  *hostPrice,
 			Vaults: []loid.LOID{v.LOID()},
 			Queue:  q,
 		}))

@@ -26,6 +26,7 @@ import (
 	"legion/internal/classobj"
 	"legion/internal/collection"
 	"legion/internal/collection/daemon"
+	"legion/internal/economy"
 	"legion/internal/enactor"
 	"legion/internal/host"
 	"legion/internal/loid"
@@ -111,6 +112,15 @@ type Options struct {
 	// runtime — retries, admission, daemons, reapers — which is what
 	// the discrete-event simulation mode runs on (DESIGN.md §13).
 	Clock vclock.Clock
+	// Economy enables the computational-economy ledger (DESIGN.md §15):
+	// the Enactor charges each granted reservation to its request's
+	// tenant at the host-quoted price and refunds on every cancel path.
+	// False leaves placement free, matching the pre-economy behaviour.
+	Economy bool
+	// Ledger, when non-nil, is an externally built ledger to use instead
+	// of the one Economy constructs (tests share one across domains).
+	// Implies Economy.
+	Ledger *economy.Ledger
 }
 
 // Metasystem is one administrative domain's assembled Legion RMI.
@@ -258,12 +268,17 @@ func New(domain string, opts Options) *Metasystem {
 	} else {
 		ms.Collection = collection.New(rt, opts.CollectionAuth)
 	}
+	ledger := opts.Ledger
+	if ledger == nil && opts.Economy {
+		ledger = economy.NewLedger(rt.Metrics())
+	}
 	ms.Enactor = enactor.New(rt, enactor.Config{
 		Retry:          opts.Retry,
 		Breakers:       ms.breakers,
 		Parallelism:    opts.Parallelism,
 		MaxInFlight:    opts.MaxInFlight,
 		AdmissionQueue: opts.AdmissionQueue,
+		Ledger:         ledger,
 	})
 	ms.Monitor = monitor.New(rt)
 	return ms
@@ -272,6 +287,10 @@ func New(domain string, opts Options) *Metasystem {
 // Breakers exposes the domain-wide circuit-breaker pool (for inspection
 // in tests and operational tooling).
 func (ms *Metasystem) Breakers() *resilient.BreakerSet { return ms.breakers }
+
+// Ledger exposes the domain's economy ledger (nil when Options.Economy
+// is off) — experiments and tests audit conservation through it.
+func (ms *Metasystem) Ledger() *economy.Ledger { return ms.Enactor.Ledger() }
 
 // CollectionLOID is the directory address consumers should query: the
 // Router when the directory is sharded, the single Collection otherwise.

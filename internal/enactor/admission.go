@@ -31,6 +31,11 @@ import (
 //   - "fair_share": admitting would give the caller's domain more than
 //     its share of the wait-queue (queueDepth / (active domains + 1),
 //     min 1), so one chatty Scheduler cannot starve the others.
+//   - "tenant_share": the same arithmetic applied per economy tenant
+//     (DESIGN.md §15) — a tenant with a deep budget still cannot buy
+//     more than its share of the admission queue, so money does not
+//     translate into queue monopoly. Requests with no tenant skip this
+//     check.
 //   - "deadline": the estimated queue wait (EWMA of recent service
 //     times scaled by queue position) exceeds the request's remaining
 //     deadline budget — the request would expire while waiting.
@@ -45,6 +50,7 @@ type admission struct {
 
 	mu        sync.Mutex
 	byDomain  map[string]int // queued waiters per requester domain
+	byTenant  map[string]int // queued waiters per economy tenant
 	ewmaSvcNs float64        // EWMA of admitted-call service time
 
 	met admissionMetrics
@@ -66,7 +72,11 @@ const ewmaAlpha = 0.2
 // newAdmission builds the gate from the Enactor's config; it returns a
 // disabled gate (admit everything, track nothing) when MaxInFlight <= 0.
 func newAdmission(rt *orb.Runtime, cfg Config) *admission {
-	a := &admission{byDomain: make(map[string]int), clock: rt.Clock()}
+	a := &admission{
+		byDomain: make(map[string]int),
+		byTenant: make(map[string]int),
+		clock:    rt.Clock(),
+	}
 	reg := rt.Metrics()
 	a.met = admissionMetrics{
 		reg:      reg,
@@ -106,8 +116,9 @@ func (a *admission) shed(reason, method string, priority int) error {
 // acquire admits or sheds one call. On admission it returns a release
 // function the caller must invoke when the call finishes; on a shed it
 // returns a proto.ErrOverload-wrapped error. method labels metrics;
-// domain and priority drive fair-share and queue ordering.
-func (a *admission) acquire(ctx context.Context, method, domain string, priority int) (func(), error) {
+// domain, tenant and priority drive fair-share and queue ordering
+// (tenant may be empty for economy-unaware callers).
+func (a *admission) acquire(ctx context.Context, method, domain, tenant string, priority int) (func(), error) {
 	if !a.enabled() {
 		return func() {}, nil
 	}
@@ -149,6 +160,24 @@ func (a *admission) acquire(ctx context.Context, method, domain string, priority
 			a.mu.Unlock()
 			return nil, a.shed("fair_share", method, priority)
 		}
+		// Per-tenant quota, same arithmetic over the economy tenant
+		// rather than the requester domain: several schedulers in one
+		// domain working for the same tenant still cannot jointly pack
+		// the queue past the tenant's share.
+		if tenant != "" {
+			activeT := len(a.byTenant)
+			if a.byTenant[tenant] == 0 {
+				activeT++
+			}
+			shareT := a.depth / (activeT + 1)
+			if shareT < 1 {
+				shareT = 1
+			}
+			if a.byTenant[tenant] >= shareT {
+				a.mu.Unlock()
+				return nil, a.shed("tenant_share", method, priority)
+			}
+		}
 		// Deadline-aware shed: refuse now if the expected wait alone
 		// would blow the caller's deadline. Expected wait ≈ EWMA service
 		// time × (queue position) / slots; position is pessimistically
@@ -164,6 +193,9 @@ func (a *admission) acquire(ctx context.Context, method, domain string, priority
 		}
 	}
 	a.byDomain[domain]++
+	if tenant != "" {
+		a.byTenant[tenant]++
+	}
 	// A Gate never blocks the signaller, so a synchronous dispatch
 	// inside Submit is safe; in virtual mode parking on it releases the
 	// discrete-event barrier.
@@ -171,7 +203,7 @@ func (a *admission) acquire(ctx context.Context, method, domain string, priority
 	id, err := a.q.Submit(method, priority, func(batchq.JobID) { started.Signal() })
 	a.mu.Unlock()
 	if err != nil {
-		a.exitQueue(domain)
+		a.exitQueue(domain, tenant)
 		return nil, a.shed("closed", method, priority)
 	}
 	a.met.queued.Set(int64(a.q.QueueLength()))
@@ -183,11 +215,11 @@ func (a *admission) acquire(ctx context.Context, method, domain string, priority
 		// its slot freed). Either way nothing downstream ran.
 		_ = a.q.Cancel(id)
 		_ = a.q.Forget(id)
-		a.exitQueue(domain)
+		a.exitQueue(domain, tenant)
 		a.met.queued.Set(int64(a.q.QueueLength()))
 		return nil, a.shed("expired", method, priority)
 	}
-	a.exitQueue(domain)
+	a.exitQueue(domain, tenant)
 	a.met.admitted.Inc()
 	a.met.waitTime.Observe(a.clock.Since(enqueued).Seconds())
 	a.met.inflight.Set(int64(a.q.Stats().Running))
@@ -214,13 +246,21 @@ func (a *admission) acquire(ctx context.Context, method, domain string, priority
 	return release, nil
 }
 
-// exitQueue drops one waiter from a domain's fair-share account.
-func (a *admission) exitQueue(domain string) {
+// exitQueue drops one waiter from the domain's and tenant's fair-share
+// accounts.
+func (a *admission) exitQueue(domain, tenant string) {
 	a.mu.Lock()
 	if a.byDomain[domain] <= 1 {
 		delete(a.byDomain, domain)
 	} else {
 		a.byDomain[domain]--
+	}
+	if tenant != "" {
+		if a.byTenant[tenant] <= 1 {
+			delete(a.byTenant, tenant)
+		} else {
+			a.byTenant[tenant]--
+		}
 	}
 	a.mu.Unlock()
 }

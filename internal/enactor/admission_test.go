@@ -33,7 +33,7 @@ func TestAdmissionDisabledByDefault(t *testing.T) {
 	if e.enactor.adm.enabled() {
 		t.Fatal("admission gate enabled without MaxInFlight")
 	}
-	release, err := e.enactor.adm.acquire(context.Background(), "make_reservations", "d", 0)
+	release, err := e.enactor.adm.acquire(context.Background(), "make_reservations", "d", "", 0)
 	if err != nil {
 		t.Fatalf("disabled gate refused: %v", err)
 	}
@@ -101,7 +101,7 @@ func TestAdmissionPriorityOrderAndQueueFull(t *testing.T) {
 	a := enr.adm
 	ctx := context.Background()
 
-	holdRelease, err := a.acquire(ctx, "make_reservations", "d0", 0)
+	holdRelease, err := a.acquire(ctx, "make_reservations", "d0", "", 0)
 	if err != nil {
 		t.Fatalf("slot acquire: %v", err)
 	}
@@ -113,7 +113,7 @@ func TestAdmissionPriorityOrderAndQueueFull(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			rel, aerr := a.acquire(ctx, "make_reservations", name, prio)
+			rel, aerr := a.acquire(ctx, "make_reservations", name, "", prio)
 			if aerr != nil {
 				t.Errorf("%s shed: %v", name, aerr)
 				return
@@ -130,7 +130,7 @@ func TestAdmissionPriorityOrderAndQueueFull(t *testing.T) {
 	waitUntil(t, "high queued", func() bool { return a.q.QueueLength() == 2 })
 
 	// Queue is at capacity: even a top-priority request is shed.
-	if _, err := a.acquire(ctx, "make_reservations", "vip", 9); !errors.Is(err, proto.ErrOverload) {
+	if _, err := a.acquire(ctx, "make_reservations", "vip", "", 9); !errors.Is(err, proto.ErrOverload) {
 		t.Fatalf("overflow acquire: %v, want ErrOverload", err)
 	}
 	if n := e.rt.Metrics().CounterValue("legion_admission_sheds_total", "reason", "queue_full"); n != 1 {
@@ -156,7 +156,7 @@ func TestAdmissionFairShare(t *testing.T) {
 	a := enr.adm
 	ctx := context.Background()
 
-	holdRelease, err := a.acquire(ctx, "make_reservations", "slot", 0)
+	holdRelease, err := a.acquire(ctx, "make_reservations", "slot", "", 0)
 	if err != nil {
 		t.Fatalf("slot acquire: %v", err)
 	}
@@ -165,7 +165,7 @@ func TestAdmissionFairShare(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			rel, aerr := a.acquire(ctx, "make_reservations", domain, 0)
+			rel, aerr := a.acquire(ctx, "make_reservations", domain, "", 0)
 			if aerr != nil {
 				t.Errorf("%s waiter shed: %v", domain, aerr)
 				return
@@ -179,7 +179,7 @@ func TestAdmissionFairShare(t *testing.T) {
 	waitUntil(t, "second greedy queued", func() bool { return a.q.QueueLength() == 2 })
 
 	// Greedy is at its share (4 / (1 active + 1) = 2): shed.
-	if _, err := a.acquire(ctx, "make_reservations", "greedy", 0); !errors.Is(err, proto.ErrOverload) {
+	if _, err := a.acquire(ctx, "make_reservations", "greedy", "", 0); !errors.Is(err, proto.ErrOverload) {
 		t.Fatalf("over-share acquire: %v, want ErrOverload", err)
 	}
 	if n := e.rt.Metrics().CounterValue("legion_admission_sheds_total", "reason", "fair_share"); n != 1 {
@@ -211,7 +211,7 @@ func TestAdmissionDeadlineAwareShed(t *testing.T) {
 
 	vc.Run(func() {
 		ctx := context.Background()
-		holdRelease, err := a.acquire(ctx, "make_reservations", "d0", 0)
+		holdRelease, err := a.acquire(ctx, "make_reservations", "d0", "", 0)
 		if err != nil {
 			t.Errorf("slot acquire: %v", err)
 			return
@@ -224,7 +224,7 @@ func TestAdmissionDeadlineAwareShed(t *testing.T) {
 
 		dctx, cancel := vc.WithTimeout(ctx, 50*time.Millisecond)
 		defer cancel()
-		if _, err := a.acquire(dctx, "make_reservations", "d1", 0); !errors.Is(err, proto.ErrOverload) {
+		if _, err := a.acquire(dctx, "make_reservations", "d1", "", 0); !errors.Is(err, proto.ErrOverload) {
 			t.Errorf("doomed-deadline acquire: %v, want ErrOverload", err)
 		}
 		if n := e.rt.Metrics().CounterValue("legion_admission_sheds_total", "reason", "deadline"); n != 1 {
@@ -236,7 +236,7 @@ func TestAdmissionDeadlineAwareShed(t *testing.T) {
 		defer cancel2()
 		done := make(chan error, 1)
 		vc.Go(func() {
-			rel, aerr := a.acquire(roomy, "make_reservations", "d1", 0)
+			rel, aerr := a.acquire(roomy, "make_reservations", "d1", "", 0)
 			if aerr == nil {
 				rel()
 			}
@@ -277,13 +277,13 @@ func TestShedEnactDoesNotPoisonIdempotency(t *testing.T) {
 	}
 
 	// Saturate: hold the slot and the queue, then the enact is shed.
-	hold1, err := enr.adm.acquire(ctx, "make_reservations", "x", 0)
+	hold1, err := enr.adm.acquire(ctx, "make_reservations", "x", "", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	blocked := make(chan struct{})
 	go func() {
-		rel, aerr := enr.adm.acquire(ctx, "make_reservations", "y", 0)
+		rel, aerr := enr.adm.acquire(ctx, "make_reservations", "y", "", 0)
 		if aerr == nil {
 			defer rel()
 		}
@@ -324,7 +324,7 @@ func TestShedsClassifyPermanentAndNeverOpenBreakers(t *testing.T) {
 
 	// Saturate the gate from the server side.
 	ctx := context.Background()
-	hold, err := enr.adm.acquire(ctx, "make_reservations", "local", 0)
+	hold, err := enr.adm.acquire(ctx, "make_reservations", "local", "", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -332,7 +332,7 @@ func TestShedsClassifyPermanentAndNeverOpenBreakers(t *testing.T) {
 	blocked := make(chan struct{})
 	defer close(blocked)
 	go func() {
-		rel, aerr := enr.adm.acquire(ctx, "make_reservations", "local", 0)
+		rel, aerr := enr.adm.acquire(ctx, "make_reservations", "local", "", 0)
 		if aerr == nil {
 			defer rel()
 		}
@@ -400,7 +400,7 @@ func TestAdmissionConcurrentStress(t *testing.T) {
 				case 1:
 					ctx, cancel = context.WithTimeout(ctx, time.Second)
 				}
-				rel, err := a.acquire(ctx, "make_reservations", domains[rng.Intn(len(domains))], rng.Intn(4))
+				rel, err := a.acquire(ctx, "make_reservations", domains[rng.Intn(len(domains))], "", rng.Intn(4))
 				if err == nil {
 					admitted.Add(1)
 					if rng.Intn(2) == 0 {

@@ -35,6 +35,7 @@ import (
 	"sync"
 	"time"
 
+	"legion/internal/economy"
 	"legion/internal/fanout"
 	"legion/internal/loid"
 	"legion/internal/orb"
@@ -102,6 +103,13 @@ type Config struct {
 	// in-flight slots; requests beyond it are shed with
 	// proto.ErrOverload. Zero means 4×MaxInFlight.
 	AdmissionQueue int
+	// Ledger, when non-nil, is the economy accounting the Enactor
+	// reconciles (DESIGN.md §15): every granted reservation is charged
+	// to the request's tenant at the host-quoted price when the grant is
+	// made, and refunded exactly once when the token is cancelled,
+	// rolled back, preempted or swept. Nil disables economy accounting
+	// (all placements are free).
+	Ledger *economy.Ledger
 }
 
 // heldRequest is the Enactor's retained state for one scheduling episode.
@@ -113,6 +121,7 @@ type heldRequest struct {
 	reserved time.Time // when the reservations were made (TTL sweep)
 	priority int       // admission class carried from make_reservations
 	domain   string    // requester domain, for fair-share accounting
+	tenant   string    // economy tenant, for ledger and tenant quotas
 	enacted  [][]loid.LOID
 	done     bool
 	inflight bool              // an EnactSchedule is executing now
@@ -320,8 +329,19 @@ func (e *Enactor) makeReservations(ctx context.Context, request sched.RequestLis
 
 	for mi := range request.Masters {
 		fb.Stats.MastersTried++
-		resolved, tokens, applied, ok := e.tryMaster(ctx, &request.Masters[mi], spec, &fb.Stats)
+		resolved, tokens, costs, applied, ok := e.tryMaster(ctx, &request.Masters[mi], spec, &fb.Stats)
 		if ok {
+			if err := e.chargeTokens(ctx, spec, resolved, tokens, costs); err != nil {
+				// A budget refusal is terminal for the whole request, not
+				// just this master: the tenant cannot pay, and later
+				// masters would bill the same account.
+				fb.Stats.ReservationsCancelled += len(tokens)
+				fb.Reason = sched.FailureResources
+				fb.Detail = err.Error()
+				spanErr = err
+				e.accumulate(fb.Stats)
+				return fb
+			}
 			fb.Success = true
 			fb.MasterIndex = mi
 			fb.Resolved = resolved
@@ -329,7 +349,7 @@ func (e *Enactor) makeReservations(ctx context.Context, request sched.RequestLis
 			e.mu.Lock()
 			e.requests[request.ID] = &heldRequest{
 				resolved: resolved, tokens: tokens, reserved: e.rt.Clock().Now(),
-				priority: request.Res.Priority, domain: domain,
+				priority: request.Res.Priority, domain: domain, tenant: spec.Tenant,
 			}
 			e.mu.Unlock()
 			e.accumulate(fb.Stats)
@@ -344,11 +364,13 @@ func (e *Enactor) makeReservations(ctx context.Context, request sched.RequestLis
 }
 
 // tryMaster negotiates one master schedule with variant patching. It
-// returns the resolved mappings and tokens on success; on failure it has
-// already cancelled everything it obtained.
-func (e *Enactor) tryMaster(ctx context.Context, m *sched.Master, spec sched.ReservationSpec, stats *sched.EnactmentStats) ([]sched.Mapping, []reservation.Token, []int, bool) {
+// returns the resolved mappings, tokens and per-token host-quoted costs
+// on success; on failure it has already cancelled everything it
+// obtained.
+func (e *Enactor) tryMaster(ctx context.Context, m *sched.Master, spec sched.ReservationSpec, stats *sched.EnactmentStats) ([]sched.Mapping, []reservation.Token, []float64, []int, bool) {
 	current := append([]sched.Mapping(nil), m.Mappings...)
 	tokens := make([]reservation.Token, len(current))
+	costs := make([]float64, len(current))
 	held := make([]bool, len(current))
 	var applied []int
 
@@ -384,8 +406,9 @@ func (e *Enactor) tryMaster(ctx context.Context, m *sched.Master, spec sched.Res
 		}
 		stats.ReservationsRequested += len(toReserve)
 		toks := make([]*reservation.Token, len(toReserve))
+		tcosts := make([]float64, len(toReserve))
 		e.fanOut(len(toReserve), func(j int) {
-			toks[j], _ = e.reserve(ctx, current[toReserve[j]], spec)
+			toks[j], tcosts[j], _ = e.reserve(ctx, current[toReserve[j]], spec)
 		})
 		var failedIdx []int
 		for j, tok := range toks {
@@ -395,6 +418,7 @@ func (e *Enactor) tryMaster(ctx context.Context, m *sched.Master, spec sched.Res
 				continue
 			}
 			tokens[i] = *tok
+			costs[i] = tcosts[j]
 			held[i] = true
 			stats.ReservationsGranted++
 		}
@@ -415,9 +439,10 @@ func (e *Enactor) tryMaster(ctx context.Context, m *sched.Master, spec sched.Res
 					next += len(wave)
 					stats.ReservationsRequested += len(wave)
 					wtoks := make([]*reservation.Token, len(wave))
+					wcosts := make([]float64, len(wave))
 					e.fanOut(len(wave), func(j int) {
 						gm := sched.Mapping{Class: g.Class, Host: wave[j].Host, Vault: wave[j].Vault}
-						wtoks[j], _ = e.reserve(ctx, gm, spec)
+						wtoks[j], wcosts[j], _ = e.reserve(ctx, gm, spec)
 					})
 					for j, tok := range wtoks {
 						if tok == nil {
@@ -425,6 +450,7 @@ func (e *Enactor) tryMaster(ctx context.Context, m *sched.Master, spec sched.Res
 						}
 						current = append(current, sched.Mapping{Class: g.Class, Host: wave[j].Host, Vault: wave[j].Vault})
 						tokens = append(tokens, *tok)
+						costs = append(costs, wcosts[j])
 						held = append(held, true)
 						got++
 						stats.ReservationsGranted++
@@ -432,10 +458,10 @@ func (e *Enactor) tryMaster(ctx context.Context, m *sched.Master, spec sched.Res
 				}
 				if got < g.K {
 					cancelAll()
-					return nil, nil, nil, false
+					return nil, nil, nil, nil, false
 				}
 			}
-			return current, tokens, applied, true
+			return current, tokens, costs, applied, true
 		}
 		failed := sched.NewBitmapOf(len(current), failedIdx...)
 
@@ -443,7 +469,7 @@ func (e *Enactor) tryMaster(ctx context.Context, m *sched.Master, spec sched.Res
 		vi := m.NextVariant(variantCursor, failed)
 		if vi < 0 {
 			cancelAll()
-			return nil, nil, nil, false
+			return nil, nil, nil, nil, false
 		}
 		variantCursor = vi + 1
 		stats.VariantsTried++
@@ -471,8 +497,10 @@ func (e *Enactor) tryMaster(ctx context.Context, m *sched.Master, spec sched.Res
 // failure can double-grant; the orphan grant is unconfirmed and is
 // reclaimed by the Host's confirmation timeout / reservation reaper.
 // reserve runs on fan-out goroutines, so it touches no shared state —
-// the callers do all stats accounting after the round joins.
-func (e *Enactor) reserve(ctx context.Context, m sched.Mapping, spec sched.ReservationSpec) (*reservation.Token, error) {
+// the callers do all stats accounting after the round joins. The second
+// return is the host-quoted cost of the grant in price units (zero for
+// unpriced hosts), which the caller bills to the tenant's ledger.
+func (e *Enactor) reserve(ctx context.Context, m sched.Mapping, spec sched.ReservationSpec) (*reservation.Token, float64, error) {
 	res, err := e.call.Call(ctx, m.Host, proto.MethodMakeReservation, proto.MakeReservationArgs{
 		Requester: e.LOID(),
 		Vault:     m.Vault,
@@ -481,22 +509,67 @@ func (e *Enactor) reserve(ctx context.Context, m sched.Mapping, spec sched.Reser
 		Duration:  spec.Duration,
 		Timeout:   spec.Timeout,
 		Priority:  spec.Priority,
+		Tenant:    spec.Tenant,
 	})
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	reply, ok := res.(proto.MakeReservationReply)
 	if !ok {
-		return nil, fmt.Errorf("enactor: unexpected reply %T", res)
+		return nil, 0, fmt.Errorf("enactor: unexpected reply %T", res)
 	}
-	return &reply.Token, nil
+	return &reply.Token, reply.Cost, nil
+}
+
+// chargeTokens bills the request's tenant for every granted token at the
+// host-quoted price, after enforcing the request's own budget cap. On
+// any refusal it cancels every token (which refunds whatever was already
+// charged through the cancelToken choke point), so a request either
+// holds fully funded reservations or holds nothing.
+func (e *Enactor) chargeTokens(ctx context.Context, spec sched.ReservationSpec, resolved []sched.Mapping, tokens []reservation.Token, costs []float64) error {
+	led := e.cfg.Ledger
+	if led == nil {
+		return nil
+	}
+	var total float64
+	for _, c := range costs {
+		total += c
+	}
+	var err error
+	if spec.Budget > 0 && total > spec.Budget {
+		err = fmt.Errorf("enactor: schedule cost %.6g exceeds request budget %.6g (tenant %q)",
+			total, spec.Budget, spec.Tenant)
+	}
+	for i := range tokens {
+		if err != nil {
+			break
+		}
+		if cerr := led.Charge(spec.Tenant, tokens[i].ID, economy.ToCredits(costs[i])); cerr != nil {
+			err = fmt.Errorf("enactor: tenant %q: %w", spec.Tenant, cerr)
+		}
+	}
+	if err == nil {
+		return nil
+	}
+	e.fanOut(len(tokens), func(i int) {
+		e.cancelToken(ctx, resolved[i].Host, tokens[i])
+	})
+	return err
 }
 
 // cancelToken releases one reservation, retrying transient faults and
 // tolerating final failure (the host may be gone; its confirmation
 // timeout or reservation reaper will reclaim the grant). Like reserve,
 // it is called from fan-out goroutines and touches no shared state.
+// Cancellation is the ledger's refund choke point: every path that gives
+// a token up — variant cancelAll, rollback, CancelReservations, a failed
+// charge — funnels through here, and Refund is exactly-once per token,
+// so the refund lands even if the cancel RPC itself is lost (the host's
+// reaper reclaims the grant; the tenant is not billed for it).
 func (e *Enactor) cancelToken(ctx context.Context, hostL loid.LOID, tok reservation.Token) {
+	if e.cfg.Ledger != nil {
+		e.cfg.Ledger.Refund(tok.ID)
+	}
 	_, _ = e.cleanup.Call(ctx, hostL, proto.MethodCancelReservation, proto.TokenArgs{Token: tok})
 }
 
@@ -706,6 +779,14 @@ func (e *Enactor) reapLocked(now time.Time) int {
 			continue
 		}
 		if now.Sub(req.reserved) > e.cfg.RequestTTL {
+			// The sweep drops tokens without calling cancelToken (the
+			// hosts reclaim them on their own), so it must refund the
+			// ledger explicitly or the tenant pays for swept grants.
+			if e.cfg.Ledger != nil {
+				for _, tok := range req.tokens {
+					e.cfg.Ledger.Refund(tok.ID)
+				}
+			}
 			delete(e.requests, id)
 			n++
 		}
@@ -722,17 +803,22 @@ func (e *Enactor) ReapRequests() int {
 	return e.reapLocked(e.rt.Clock().Now())
 }
 
-// requestClass reports the admission class (priority, requester domain)
-// recorded when a request's reservations were made; zero values for an
-// unknown request (it still passes admission, then fails the lookup).
-func (e *Enactor) requestClass(requestID uint64) (int, string) {
+// requestClass reports the admission class (priority, requester domain,
+// economy tenant) recorded when a request's reservations were made; zero
+// values for an unknown request (it still passes admission, then fails
+// the lookup).
+func (e *Enactor) requestClass(requestID uint64) (int, string, string) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if req, ok := e.requests[requestID]; ok {
-		return req.priority, req.domain
+		return req.priority, req.domain, req.tenant
 	}
-	return 0, ""
+	return 0, "", ""
 }
+
+// Ledger exposes the Enactor's economy ledger (nil when accounting is
+// disabled) — experiments and the account_* wire methods read it.
+func (e *Enactor) Ledger() *economy.Ledger { return e.cfg.Ledger }
 
 func (e *Enactor) installMethods() {
 	e.Handle(proto.MethodMakeReservations, func(ctx context.Context, arg any) (any, error) {
@@ -744,7 +830,7 @@ func (e *Enactor) installMethods() {
 		// crosses back as a typed proto.ErrOverload refusal (classified
 		// permanent — never a breaker strike), and nothing downstream
 		// runs for a shed request, so it can leak no tokens.
-		release, err := e.adm.acquire(ctx, "make_reservations", a.RequesterDomain, a.Request.Res.Priority)
+		release, err := e.adm.acquire(ctx, "make_reservations", a.RequesterDomain, a.Request.Res.Tenant, a.Request.Res.Priority)
 		if err != nil {
 			return nil, err
 		}
@@ -760,8 +846,8 @@ func (e *Enactor) installMethods() {
 		// enact; if the caller never returns, the held reservations are
 		// reclaimed by the hosts' confirmation timeouts and the
 		// Enactor's RequestTTL sweep.
-		prio, domain := e.requestClass(a.RequestID)
-		release, err := e.adm.acquire(ctx, "enact_schedule", domain, prio)
+		prio, domain, tenant := e.requestClass(a.RequestID)
+		release, err := e.adm.acquire(ctx, "enact_schedule", domain, tenant, prio)
 		if err != nil {
 			return nil, err
 		}
@@ -778,4 +864,39 @@ func (e *Enactor) installMethods() {
 		}
 		return proto.Ack{}, nil
 	})
+	e.Handle(proto.MethodAccountDeposit, func(ctx context.Context, arg any) (any, error) {
+		a, ok := arg.(proto.AccountDepositArgs)
+		if !ok {
+			return nil, fmt.Errorf("enactor: want AccountDepositArgs, got %T", arg)
+		}
+		led := e.cfg.Ledger
+		if led == nil {
+			return nil, errors.New("enactor: no economy ledger configured")
+		}
+		led.Open(a.Tenant, economy.Credits(a.Amount))
+		return accountReply(led, a.Tenant), nil
+	})
+	e.Handle(proto.MethodAccountStatus, func(ctx context.Context, arg any) (any, error) {
+		a, ok := arg.(proto.AccountArgs)
+		if !ok {
+			return nil, fmt.Errorf("enactor: want AccountArgs, got %T", arg)
+		}
+		led := e.cfg.Ledger
+		if led == nil {
+			return nil, errors.New("enactor: no economy ledger configured")
+		}
+		return accountReply(led, a.Tenant), nil
+	})
+}
+
+// accountReply snapshots one tenant account for the wire.
+func accountReply(led *economy.Ledger, tenant string) proto.AccountReply {
+	acct := led.Account(tenant)
+	return proto.AccountReply{
+		Tenant:    tenant,
+		Budget:    int64(acct.Budget),
+		Spent:     int64(acct.Spent),
+		Refunded:  int64(acct.Refunded),
+		Remaining: int64(acct.Remaining()),
+	}
 }

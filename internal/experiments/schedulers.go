@@ -145,6 +145,7 @@ func E1SchedulerLadder() *Table {
 			scheduler.Random{},
 			scheduler.IRS{NSched: 4},
 			scheduler.LoadAware{},
+			scheduler.DeadlineBudget{Estimate: 30 * time.Second},
 		}
 		if w.grid {
 			gens = append(gens, scheduler.Stencil{Rows: gridR, Cols: gridC})
@@ -152,9 +153,15 @@ func E1SchedulerLadder() *Table {
 		for _, gen := range gens {
 			ms, fleet := heteroFleet(11, 10, 256)
 			class := ms.DefineClass("Worker", nil)
+			res := shareSpec()
+			if _, isEco := gen.(scheduler.DeadlineBudget); isEco {
+				// The economy rung needs a deadline to optimize against;
+				// everything else about the request is identical.
+				res.Deadline = 10 * time.Minute
+			}
 			out, err := ms.PlaceApplication(ctx, gen, scheduler.Request{
 				Classes: []scheduler.ClassRequest{{Class: class.LOID(), Count: w.count}},
-				Res:     shareSpec(),
+				Res:     res,
 			})
 			if err != nil {
 				t.AddRow(w.name, gen.Name(), "failed", "-", "-", "-")

@@ -138,6 +138,20 @@ type Config struct {
 	// CostPerCPU is the advertised charge per CPU-second, exported so
 	// schedulers can weigh cost (§3.1's "amount charged per CPU cycle").
 	CostPerCPU float64
+	// Price is the economy layer's charge per instance-hour, exported as
+	// $host_price and billed (price × reservation duration) against the
+	// requesting tenant's ledger account at grant time (DESIGN.md §15).
+	// Zero means the host is free.
+	Price float64
+	// Spot marks the host as preemptible spot capacity ($host_class =
+	// "spot" instead of "reserved"): typically cheaper, but its instances
+	// are the first victims when the preempting rebalance policy must
+	// defend a paying tenant's deadline.
+	Spot bool
+	// Speed is the machine's relative benchmark speed (1.0 = baseline),
+	// exported as $host_speed so deadline-aware schedulers can estimate
+	// completion time, not just occupancy. Zero or negative exports 1.0.
+	Speed float64
 	// Vaults are the vault objects reachable from this host.
 	Vaults []loid.LOID
 	// Queue, when non-nil, makes this a Batch Queue Host.
@@ -188,6 +202,11 @@ type Host struct {
 	extLoad float64
 	pushTo  []pushTarget
 	now     func() time.Time
+	// preempted records reservation tokens the rebalancer's preempting
+	// policy deliberately evicted. If the eviction's cancel RPC is lost
+	// (chaos faults) the token can linger in the table with no backing
+	// object; ReservationLeaks must not report those as migration leaks.
+	preempted map[uint64]bool
 
 	startsTotal  int64
 	reassessions int64
@@ -272,11 +291,14 @@ func New(rt *orb.Runtime, cfg Config) *Host {
 		attr.Pair{Name: "host_os_name", Value: attr.String(cfg.OS)},
 		attr.Pair{Name: "host_os_version", Value: attr.String(cfg.OSVersion)},
 		attr.Pair{Name: "host_cpus", Value: attr.Int(int64(cfg.CPUs))},
+		attr.Pair{Name: "host_speed", Value: attr.Float(speedOf(cfg))},
 		attr.Pair{Name: "host_memory_mb", Value: attr.Int(int64(cfg.MemoryMB))},
 		attr.Pair{Name: "host_mem_available_mb", Value: attr.Int(int64(cfg.MemoryMB))},
 		attr.Pair{Name: "host_zone", Value: attr.String(cfg.Zone)},
 		attr.Pair{Name: "host_domain", Value: attr.String(rt.Domain())},
 		attr.Pair{Name: "host_cost_per_cpu", Value: attr.Float(cfg.CostPerCPU)},
+		attr.Pair{Name: "host_price", Value: attr.Float(cfg.Price)},
+		attr.Pair{Name: "host_class", Value: attr.String(hostClass(cfg.Spot))},
 		attr.Pair{Name: "host_load", Value: attr.Float(0)},
 		attr.Pair{Name: "host_running_objects", Value: attr.Int(0)},
 		attr.Pair{Name: "host_queue_length", Value: attr.Int(0)},
@@ -291,6 +313,39 @@ func New(rt *orb.Runtime, cfg Config) *Host {
 	h.attrs.Merge(cfg.ExtraAttrs)
 	rt.Register(h)
 	return h
+}
+
+// ClassSpot and ClassReserved are the $host_class attribute values.
+const (
+	ClassSpot     = "spot"
+	ClassReserved = "reserved"
+)
+
+func hostClass(spot bool) string {
+	if spot {
+		return ClassSpot
+	}
+	return ClassReserved
+}
+
+func speedOf(cfg Config) float64 {
+	if cfg.Speed <= 0 {
+		return 1.0
+	}
+	return cfg.Speed
+}
+
+// Price returns the host's advertised per-instance-hour price.
+func (h *Host) Price() float64 { return h.cfg.Price }
+
+// Spot reports whether this host is preemptible spot capacity.
+func (h *Host) Spot() bool { return h.cfg.Spot }
+
+// ReservationCost prices a reservation of the given duration on this
+// host: Price × hours, the amount the Enactor debits from the
+// requesting tenant's account when the grant is confirmed.
+func (h *Host) ReservationCost(d time.Duration) float64 {
+	return h.cfg.Price * d.Hours()
 }
 
 // Runtime returns the runtime this host is registered with.
@@ -462,6 +517,11 @@ func (h *Host) ActiveReservations() int { return h.table.Active() }
 // exactly the tokens a failed migration forgot to cancel: an unconfirmed
 // grant nobody redeemed, or a consumed token whose object is gone without
 // the release path running. It must be zero after any migration episode.
+//
+// Tokens recorded by NotePreempted are excluded: the preempting
+// rebalance policy evicted them on purpose (and refunded the tenant),
+// so a lost cancel RPC leaving one in the table is not a conservation
+// violation — the slot frees at expiry.
 func (h *Host) ReservationLeaks() int {
 	h.table.Reap()
 	h.mu.Lock()
@@ -469,14 +529,51 @@ func (h *Host) ReservationLeaks() int {
 	for _, ro := range h.running {
 		inUse[ro.tok.ID] = true
 	}
+	preempted := make(map[uint64]bool, len(h.preempted))
+	for id := range h.preempted {
+		preempted[id] = true
+	}
 	h.mu.Unlock()
 	n := 0
 	for _, e := range h.table.Snapshot() {
-		if !e.Token.Type.Reuse && !inUse[e.Token.ID] {
+		if !e.Token.Type.Reuse && !inUse[e.Token.ID] && !preempted[e.Token.ID] {
 			n++
 		}
 	}
 	return n
+}
+
+// NotePreempted records that the given reservation token was evicted by
+// the preempting rebalance policy, keeping ReservationLeaks honest when
+// the eviction's cancel is lost to faults.
+func (h *Host) NotePreempted(tokenID uint64) {
+	h.mu.Lock()
+	if h.preempted == nil {
+		h.preempted = make(map[uint64]bool)
+	}
+	h.preempted[tokenID] = true
+	h.mu.Unlock()
+}
+
+// PreemptedTokens returns how many preemption-cancelled tokens this
+// host has recorded.
+func (h *Host) PreemptedTokens() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.preempted)
+}
+
+// TokenFor returns the reservation token the named running instance was
+// started under — the preempting policy uses it to cancel and refund a
+// victim's reservation.
+func (h *Host) TokenFor(instance loid.LOID) (reservation.Token, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	ro, ok := h.running[instance]
+	if !ok {
+		return reservation.Token{}, false
+	}
+	return ro.tok, true
 }
 
 // IsRunning reports whether the named instance is active on this host.
@@ -795,7 +892,7 @@ func buildHostMethods() *orb.DispatchTable {
 		if err != nil {
 			return nil, err
 		}
-		return proto.MakeReservationReply{Token: *tok}, nil
+		return proto.MakeReservationReply{Token: *tok, Cost: h.ReservationCost(tok.Duration)}, nil
 	})
 	t.Handle(proto.MethodCheckReservation, func(_ context.Context, recv, arg any) (any, error) {
 		h := recv.(*Host)

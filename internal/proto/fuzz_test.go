@@ -193,19 +193,22 @@ func (g *gen) requestList() sched.RequestList {
 			Share: g.bool(), Reuse: g.bool(),
 			Start: g.time(), Duration: g.dur(), Timeout: g.dur(),
 			Priority: int(g.byte()) - 128,
+			Tenant:   g.sym(), Deadline: g.dur(),
+			Budget: float64(g.int64()) / 3.0,
 		},
 	}
 }
 
 // message picks one registered type and fills it from the input.
 func (g *gen) message() any {
-	switch g.n(24) {
+	switch g.n(27) {
 	case 0:
 		return MakeReservationArgs{Requester: g.loid(), Vault: g.loid(),
 			Type:  reservation.Type{Share: g.bool(), Reuse: g.bool()},
-			Start: g.time(), Duration: g.dur(), Timeout: g.dur(), Priority: int(g.byte()) - 128}
+			Start: g.time(), Duration: g.dur(), Timeout: g.dur(), Priority: int(g.byte()) - 128,
+			Tenant: g.sym()}
 	case 1:
-		return MakeReservationReply{Token: g.token()}
+		return MakeReservationReply{Token: g.token(), Cost: float64(g.int64()) / 3.0}
 	case 2:
 		return TokenArgs{Token: g.token()}
 	case 3:
@@ -282,6 +285,13 @@ func (g *gen) message() any {
 			inst = append(inst, g.loids())
 		}
 		return EnactReply{Instances: inst, Success: g.bool(), Detail: g.str()}
+	case 23:
+		return AccountArgs{Tenant: g.sym()}
+	case 24:
+		return AccountDepositArgs{Tenant: g.sym(), Amount: g.int64()}
+	case 25:
+		return AccountReply{Tenant: g.sym(), Budget: g.int64(), Spent: g.int64(),
+			Refunded: g.int64(), Remaining: g.int64()}
 	default:
 		sr := ServicesReply{
 			Collection: g.loid(), Enactor: g.loid(), Monitor: g.loid(),
@@ -306,7 +316,7 @@ func FuzzCodecRoundTrip(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{0x00, 0x01, 0x02, 0x03})
 	f.Add([]byte("legion-codec-differential-seed"))
-	for i := byte(0); i < 24; i++ { // one seed steering into each message arm
+	for i := byte(0); i < 27; i++ { // one seed steering into each message arm
 		f.Add([]byte{i, 0xff, 0x7f, 0x80, 0x01, 0x3c, 0xa5, 0x5a, 0x00, 0x10, 0xfe, 0x42, i * 11, 0x9c, 0x63, 0x31})
 	}
 	f.Fuzz(func(t *testing.T, data []byte) {

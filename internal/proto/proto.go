@@ -88,6 +88,14 @@ const (
 	MethodCancelReservations = "cancel_reservations"
 )
 
+// Economy account methods served by a ledger-enabled Enactor
+// (DESIGN.md §15): deposit funds a tenant's account, status reports its
+// ledger snapshot.
+const (
+	MethodAccountDeposit = "account_deposit"
+	MethodAccountStatus  = "account_status"
+)
+
 // Monitor callback method: Hosts perform this outcall when a registered
 // trigger fires.
 const MethodNotify = "notify"
@@ -140,11 +148,19 @@ type MakeReservationArgs struct {
 	// important; 0 is the default class). Load-shedding Host policies
 	// refuse low-priority reservations above an occupancy watermark.
 	Priority int
+	// Tenant names the paying account (DESIGN.md §15); empty means
+	// unattributed. Hosts may use it in local placement policy, and it
+	// lets site accounting attribute grants to tenants.
+	Tenant string
 }
 
 // MakeReservationReply carries the granted token.
 type MakeReservationReply struct {
 	Token reservation.Token
+	// Cost is the host's charge for this grant (host price × reservation
+	// duration, in price units): the amount the Enactor debits from the
+	// requesting tenant's ledger account. Zero for unpriced hosts.
+	Cost float64
 }
 
 // TokenArgs carries a token for check/cancel calls.
@@ -422,6 +438,31 @@ type CancelReservationsArgs struct {
 // Ack is an empty success reply.
 type Ack struct{}
 
+// --- Economy account messages (DESIGN.md §15) ---
+
+// AccountArgs names a tenant account for status queries.
+type AccountArgs struct {
+	Tenant string
+}
+
+// AccountDepositArgs funds a tenant's account. Amount is in economy
+// credits (millionths of a price unit, see economy.Credits) so the
+// ledger's integer conservation arithmetic crosses the wire exactly.
+type AccountDepositArgs struct {
+	Tenant string
+	Amount int64
+}
+
+// AccountReply is a tenant account snapshot, all amounts in economy
+// credits.
+type AccountReply struct {
+	Tenant    string
+	Budget    int64
+	Spent     int64
+	Refunded  int64
+	Remaining int64
+}
+
 func init() {
 	for _, v := range []any{
 		MakeReservationArgs{}, MakeReservationReply{}, TokenArgs{},
@@ -435,6 +476,7 @@ func init() {
 		InstancesReply{}, Placement{}, Implementation{},
 		MakeReservationsArgs{}, FeedbackReply{}, EnactScheduleArgs{},
 		EnactReply{}, CancelReservationsArgs{}, Ack{}, ServicesReply{},
+		AccountArgs{}, AccountDepositArgs{}, AccountReply{},
 	} {
 		orb.RegisterWireType(v)
 	}

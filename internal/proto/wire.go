@@ -59,6 +59,9 @@ const (
 	wireCancelReservationsArgs
 	wireAck
 	wireServicesReply
+	wireAccountArgs
+	wireAccountDepositArgs
+	wireAccountReply
 )
 
 func init() {
@@ -102,6 +105,9 @@ func init() {
 	orb.RegisterWireMessage[CancelReservationsArgs, *CancelReservationsArgs](wireCancelReservationsArgs)
 	orb.RegisterWireMessage[Ack, *Ack](wireAck)
 	orb.RegisterWireMessage[ServicesReply, *ServicesReply](wireServicesReply)
+	orb.RegisterWireMessage[AccountArgs, *AccountArgs](wireAccountArgs)
+	orb.RegisterWireMessage[AccountDepositArgs, *AccountDepositArgs](wireAccountDepositArgs)
+	orb.RegisterWireMessage[AccountReply, *AccountReply](wireAccountReply)
 }
 
 // --- Host messages ---
@@ -114,7 +120,8 @@ func (m *MakeReservationArgs) AppendWire(b []byte) []byte {
 	b = wire.AppendTime(b, m.Start)
 	b = wire.AppendDuration(b, m.Duration)
 	b = wire.AppendDuration(b, m.Timeout)
-	return wire.AppendVarint(b, int64(m.Priority))
+	b = wire.AppendVarint(b, int64(m.Priority))
+	return wire.AppendString(b, m.Tenant)
 }
 
 // DecodeWire implements orb.WireMessage.
@@ -126,16 +133,59 @@ func (m *MakeReservationArgs) DecodeWire(r *wire.Reader) {
 	m.Duration = r.Duration()
 	m.Timeout = r.Duration()
 	m.Priority = int(r.Varint())
+	m.Tenant = r.Sym()
 }
 
 // AppendWire implements orb.WireMessage.
 func (m *MakeReservationReply) AppendWire(b []byte) []byte {
-	return m.Token.AppendWire(b)
+	b = m.Token.AppendWire(b)
+	return wire.AppendFloat64(b, m.Cost)
 }
 
 // DecodeWire implements orb.WireMessage.
 func (m *MakeReservationReply) DecodeWire(r *wire.Reader) {
 	m.Token.DecodeWire(r)
+	m.Cost = r.Float64()
+}
+
+// AppendWire implements orb.WireMessage.
+func (m *AccountArgs) AppendWire(b []byte) []byte {
+	return wire.AppendString(b, m.Tenant)
+}
+
+// DecodeWire implements orb.WireMessage.
+func (m *AccountArgs) DecodeWire(r *wire.Reader) {
+	m.Tenant = r.Sym()
+}
+
+// AppendWire implements orb.WireMessage.
+func (m *AccountDepositArgs) AppendWire(b []byte) []byte {
+	b = wire.AppendString(b, m.Tenant)
+	return wire.AppendVarint(b, m.Amount)
+}
+
+// DecodeWire implements orb.WireMessage.
+func (m *AccountDepositArgs) DecodeWire(r *wire.Reader) {
+	m.Tenant = r.Sym()
+	m.Amount = r.Varint()
+}
+
+// AppendWire implements orb.WireMessage.
+func (m *AccountReply) AppendWire(b []byte) []byte {
+	b = wire.AppendString(b, m.Tenant)
+	b = wire.AppendVarint(b, m.Budget)
+	b = wire.AppendVarint(b, m.Spent)
+	b = wire.AppendVarint(b, m.Refunded)
+	return wire.AppendVarint(b, m.Remaining)
+}
+
+// DecodeWire implements orb.WireMessage.
+func (m *AccountReply) DecodeWire(r *wire.Reader) {
+	m.Tenant = r.Sym()
+	m.Budget = r.Varint()
+	m.Spent = r.Varint()
+	m.Refunded = r.Varint()
+	m.Remaining = r.Varint()
 }
 
 // AppendWire implements orb.WireMessage.

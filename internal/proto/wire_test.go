@@ -166,6 +166,9 @@ func fixtureRequestList(mappings int) sched.RequestList {
 			Duration: time.Hour,
 			Timeout:  20 * time.Second,
 			Priority: 3,
+			Tenant:   "astro",
+			Deadline: 3 * time.Hour,
+			Budget:   12.5,
 		},
 	}
 }
@@ -205,8 +208,10 @@ func fixtureMessages() []any {
 	}
 	return []any{
 		MakeReservationArgs{Requester: obj, Vault: vault, Type: reservation.Type{Share: true, Reuse: true},
-			Start: time.Unix(1700000000, 1), Duration: time.Hour, Timeout: time.Minute, Priority: -2},
-		MakeReservationReply{Token: fixtureToken(11)},
+			Start: time.Unix(1700000000, 1), Duration: time.Hour, Timeout: time.Minute, Priority: -2,
+			Tenant: "astro"},
+		MakeReservationReply{Token: fixtureToken(11), Cost: 0.125},
+		MakeReservationReply{Token: fixtureToken(11)}, // free host: zero Cost
 		TokenArgs{Token: fixtureToken(12)},
 		StartObjectArgs{Token: fixtureToken(13), Class: obj, Instances: []loid.LOID{host, vault}, State: fixtureOPR()},
 		StartObjectArgs{Token: fixtureToken(14)}, // nil State, nil Instances
@@ -259,6 +264,13 @@ func fixtureMessages() []any {
 		EnactScheduleArgs{RequestID: 9001},
 		EnactReply{Instances: [][]loid.LOID{{obj}, nil, {host, vault}}, Success: true, Detail: "ok"},
 		CancelReservationsArgs{RequestID: 9001},
+		AccountArgs{Tenant: "astro"},
+		AccountArgs{},
+		AccountDepositArgs{Tenant: "bio", Amount: 5_000_000},
+		AccountDepositArgs{Tenant: "cfd", Amount: -250},
+		AccountReply{Tenant: "astro", Budget: 10_000_000, Spent: 750_000,
+			Refunded: 250_000, Remaining: 9_500_000},
+		AccountReply{},
 		Ack{},
 		ServicesReply{
 			Collection: loid.LOID{Domain: "z", Class: "Collection", Instance: 1},

@@ -111,11 +111,17 @@ func (p *LeastLoaded) Plan(ctx context.Context, ev proto.NotifyArgs, ms *core.Me
 // candidates returns usable destination host records, Collection-first
 // with a metasystem-introspection fallback.
 func (p *LeastLoaded) candidates(ctx context.Context, source loid.LOID, ms *core.Metasystem) ([]scheduler.HostInfo, error) {
-	q := p.Query
-	if q == "" {
-		q = "defined($host_load)"
+	return candidateHosts(ctx, source, ms, p.Query)
+}
+
+// candidateHosts returns usable destination host records for a shed off
+// source, Collection-first with a metasystem-introspection fallback.
+// Shared by every rebalancing policy.
+func candidateHosts(ctx context.Context, source loid.LOID, ms *core.Metasystem, query string) ([]scheduler.HostInfo, error) {
+	if query == "" {
+		query = "defined($host_load)"
 	}
-	infos, _, err := scheduler.QueryHostsPartial(ctx, ms.Env(), q)
+	infos, _, err := scheduler.QueryHostsPartial(ctx, ms.Env(), query)
 	var out []scheduler.HostInfo
 	if err == nil {
 		for _, hi := range infos {
@@ -135,6 +141,8 @@ func (p *LeastLoaded) candidates(ctx context.Context, source loid.LOID, ms *core
 				LOID:   h.LOID(),
 				Load:   h.Load(),
 				Zone:   h.Zone(),
+				Price:  h.Price(),
+				Spot:   h.Spot(),
 				Vaults: h.CompatibleVaults(),
 			})
 		}

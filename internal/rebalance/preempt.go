@@ -1,0 +1,181 @@
+package rebalance
+
+import (
+	"context"
+	"sort"
+
+	"legion/internal/classobj"
+	"legion/internal/core"
+	"legion/internal/economy"
+	"legion/internal/loid"
+	"legion/internal/proto"
+	"legion/internal/scheduler"
+)
+
+// PreemptingPolicy is the computational economy's eviction arm
+// (DESIGN.md §15): when a spot-class host's trigger fires — a paying
+// tenant's deadline is at risk on capacity that was sold as
+// preemptible — it evicts the lowest-priority instances running there
+// and migrates them away, preferring reserved-class destinations so the
+// displaced work does not just queue up behind the next preemption.
+//
+// Eviction is an economy event, not only a placement one: the victim's
+// source reservation token is marked preempted on the host (so the E10
+// conservation audit does not report the stranded token as a leak once
+// the instance has moved) and its ledger charge is refunded — the
+// tenant does not pay for preempted time. Both are exactly-once: the
+// preempted set is idempotent and economy.Ledger.Refund refunds a
+// token at most once, so a re-fired trigger or a failed-then-retried
+// migration cannot double-refund.
+//
+// The actual move rides the existing machinery — core.Migrate under the
+// Rebalancer's damping, with EnsureRunning converging a failed move
+// back to running-exactly-once.
+type PreemptingPolicy struct {
+	// MaxShedPerEvent bounds how many instances one trigger event may
+	// evict (default 1).
+	MaxShedPerEvent int
+	// Priority maps an instance to its scheduling priority class; the
+	// lowest classes are evicted first. Nil treats every instance as
+	// priority 0 (any instance is preemptible). The class records do not
+	// retain request priority, so the operator wiring the policy
+	// supplies the mapping.
+	Priority func(inst loid.LOID) int
+	// Ledger, when non-nil, is refunded for each victim's source
+	// reservation at eviction time.
+	Ledger *economy.Ledger
+	// Query selects candidate destination records (default
+	// "defined($host_load)").
+	Query string
+}
+
+// NewPreempting returns a PreemptingPolicy with defaults over the given
+// ledger (which may be nil for placement-only preemption).
+func NewPreempting(led *economy.Ledger) *PreemptingPolicy {
+	return &PreemptingPolicy{MaxShedPerEvent: 1, Ledger: led}
+}
+
+// Plan implements Policy.
+func (p *PreemptingPolicy) Plan(ctx context.Context, ev proto.NotifyArgs, ms *core.Metasystem, classes []*classobj.Class) ([]Move, error) {
+	src := ms.HostByLOID(ev.Source)
+	if src == nil || !src.Spot() {
+		// Reserved capacity is never preempted; its overload is
+		// LeastLoaded's problem.
+		return nil, nil
+	}
+	shed := p.MaxShedPerEvent
+	if shed <= 0 {
+		shed = 1
+	}
+	prio := p.Priority
+	if prio == nil {
+		prio = func(loid.LOID) int { return 0 }
+	}
+
+	type victim struct {
+		class *classobj.Class
+		inst  loid.LOID
+		vault loid.LOID
+		prio  int
+	}
+	var victims []victim
+	for _, c := range classes {
+		for _, inst := range c.Instances() {
+			h, v, err := c.WhereIs(inst)
+			if err != nil || h != ev.Source {
+				continue
+			}
+			victims = append(victims, victim{class: c, inst: inst, vault: v, prio: prio(inst)})
+		}
+	}
+	if len(victims) == 0 {
+		return nil, nil
+	}
+	// Cheapest blood first: lowest priority class, LOID tiebreak for
+	// determinism.
+	sort.Slice(victims, func(a, b int) bool {
+		if victims[a].prio != victims[b].prio {
+			return victims[a].prio < victims[b].prio
+		}
+		return victims[a].inst.Less(victims[b].inst)
+	})
+	if len(victims) > shed {
+		victims = victims[:shed]
+	}
+
+	cands, err := candidateHosts(ctx, ev.Source, ms, p.Query)
+	if err != nil || len(cands) == 0 {
+		return nil, err
+	}
+	// Reserved-class destinations first (so the evictee stops being
+	// preemptible), then the usual vault/zone/load ranking within each
+	// class.
+	sort.SliceStable(cands, func(a, b int) bool {
+		return !cands[a].Spot && cands[b].Spot
+	})
+
+	zoneOf := func(vaultL loid.LOID) string {
+		if v := ms.VaultByLOID(vaultL); v != nil {
+			return v.Zone()
+		}
+		return ""
+	}
+
+	var moves []Move
+	for i, vic := range victims {
+		ranked := rankPreserveSpotOrder(cands, vic.vault, zoneOf(vic.vault))
+		if len(ranked) == 0 {
+			continue
+		}
+		dest := ranked[i%len(ranked)]
+		toVault := dest.Vaults[0]
+		for _, dv := range dest.Vaults {
+			if dv == vic.vault {
+				toVault = dv
+				break
+			}
+		}
+		// Economy bookkeeping before the move is attempted: the
+		// eviction decision, not the migration outcome, is what ends
+		// the tenant's obligation to pay for this grant.
+		if tok, ok := src.TokenFor(vic.inst); ok {
+			src.NotePreempted(tok.ID)
+			if p.Ledger != nil {
+				p.Ledger.Refund(tok.ID)
+			}
+		}
+		moves = append(moves, Move{Class: vic.class, Instance: vic.inst, ToHost: dest.LOID, ToVault: toVault})
+	}
+	return moves, nil
+}
+
+// rankPreserveSpotOrder ranks like rankCandidates (vault-reachable, then
+// same-zone, then rest, by load) but keeps the caller's reserved-before-
+// spot partition as the outermost sort key.
+func rankPreserveSpotOrder(cands []scheduler.HostInfo, curVault loid.LOID, vaultZone string) []scheduler.HostInfo {
+	tier := func(hi scheduler.HostInfo) int {
+		t := 0
+		for _, v := range hi.Vaults {
+			if v == curVault {
+				t = -3
+				break
+			}
+		}
+		if t == 0 && vaultZone != "" && hi.Zone == vaultZone {
+			t = -2
+		}
+		if hi.Spot {
+			t += 10 // spot destinations always rank behind reserved ones
+		}
+		return t
+	}
+	out := append([]scheduler.HostInfo(nil), cands...)
+	sort.SliceStable(out, func(i, j int) bool {
+		ti, tj := tier(out[i]), tier(out[j])
+		if ti != tj {
+			return ti < tj
+		}
+		return out[i].Load < out[j].Load
+	})
+	return out
+}

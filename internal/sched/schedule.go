@@ -176,6 +176,22 @@ type ReservationSpec struct {
 	// orders its wait-queue by it and sheds low classes first; Hosts may
 	// refuse low classes above an occupancy watermark.
 	Priority int
+	// Tenant names the paying account for the computational-economy
+	// layer (DESIGN.md §15). Empty means no account: the Enactor's
+	// ledger, if any, bills an implicit unlimited account, and admission
+	// applies no per-tenant fair share.
+	Tenant string
+	// Deadline is the requested completion bound relative to schedule
+	// time (Nimrod/G's deadline knob); zero means none. The
+	// DeadlineBudget scheduler only assigns hosts whose estimated
+	// completion fits it, and the preempting rebalance policy defends it
+	// once instances run.
+	Deadline time.Duration
+	// Budget caps this request's total spend in economy credit units
+	// (host price × hours, see economy.Credits); zero means unlimited.
+	// The DeadlineBudget scheduler minimizes cost under it, and the
+	// Enactor's ledger refuses charges past the tenant's balance.
+	Budget float64
 }
 
 // RequestList is the paper's LegionScheduleRequestList: the entire

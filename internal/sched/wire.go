@@ -187,7 +187,10 @@ func (s *ReservationSpec) AppendWire(b []byte) []byte {
 	b = wire.AppendTime(b, s.Start)
 	b = wire.AppendDuration(b, s.Duration)
 	b = wire.AppendDuration(b, s.Timeout)
-	return wire.AppendVarint(b, int64(s.Priority))
+	b = wire.AppendVarint(b, int64(s.Priority))
+	b = wire.AppendString(b, s.Tenant)
+	b = wire.AppendDuration(b, s.Deadline)
+	return wire.AppendFloat64(b, s.Budget)
 }
 
 // DecodeWire consumes a ReservationSpec.
@@ -198,6 +201,9 @@ func (s *ReservationSpec) DecodeWire(r *wire.Reader) {
 	s.Duration = r.Duration()
 	s.Timeout = r.Duration()
 	s.Priority = int(r.Varint())
+	s.Tenant = r.Sym()
+	s.Deadline = r.Duration()
+	s.Budget = r.Float64()
 }
 
 // AppendWire appends the full LegionScheduleRequestList.

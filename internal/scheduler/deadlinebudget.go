@@ -1,0 +1,199 @@
+package scheduler
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"legion/internal/sched"
+)
+
+// ErrBudgetInfeasible reports that even the cheapest deadline-feasible
+// schedule exceeds the request's budget — Nimrod/G's "cannot be done
+// within the deadline and budget" refusal, raised before any
+// reservation is attempted.
+var ErrBudgetInfeasible = errors.New("scheduler: cheapest deadline-feasible schedule exceeds budget")
+
+// DeadlineBudget is the computational-economy generator (ROADMAP item
+// 1): Nimrod/G's deadline/budget-constrained scheduling loop over the
+// same E8 query machinery the other generators use. Each matching host
+// is priced at $host_price × estimated task duration and assigned an
+// estimated completion time from its load and CPU count; the generator
+// then buys capacity cheapest-first, but only from hosts whose
+// estimated completion fits the request's deadline — paying more for
+// faster hosts exactly when the deadline forces it, and refusing
+// (ErrBudgetInfeasible) when deadline and budget cannot both hold.
+//
+// With no deadline and no budget the economy has nothing to optimize:
+// Generate delegates verbatim to Random, so a cost-blind request
+// through DeadlineBudget is decision-for-decision identical to the
+// baseline (pinned by TestE14EconomyDifferential).
+type DeadlineBudget struct {
+	// Estimate is the assumed per-instance task duration used to price
+	// hosts and test deadline feasibility. Zero falls back to the
+	// request's reservation Duration, then to one hour.
+	Estimate time.Duration
+	// Variants is how many alternative schedules to emit per entry
+	// (next-cheapest feasible hosts); default 2.
+	Variants int
+	// Margin is the fraction of the deadline a host's estimated
+	// completion must fit within to count as feasible (default 0.75).
+	// The headroom absorbs what the snapshot cannot see: load added by
+	// concurrent requests between the Collection pull and enactment.
+	Margin float64
+}
+
+// Name implements Generator.
+func (DeadlineBudget) Name() string { return "deadline-budget" }
+
+// Generate implements Generator.
+func (g DeadlineBudget) Generate(ctx context.Context, env *Env, req Request) (sched.RequestList, error) {
+	if req.Res.Deadline <= 0 && req.Res.Budget <= 0 {
+		// Unconstrained: behave exactly like the cost-blind baseline.
+		return Random{}.Generate(ctx, env, req)
+	}
+	nVar := g.Variants
+	if nVar <= 0 {
+		nVar = 2
+	}
+	est := g.Estimate
+	if est <= 0 {
+		est = req.Res.Duration
+	}
+	if est <= 0 {
+		est = time.Hour
+	}
+	deadline := req.Res.Deadline
+
+	var master sched.Master
+	var totalCost float64
+	for _, cr := range req.Classes {
+		hosts, err := matchingHosts(ctx, env, cr.Class)
+		if err != nil {
+			return sched.RequestList{}, err
+		}
+		hosts = usable(hosts)
+		if len(hosts) == 0 {
+			return sched.RequestList{}, fmt.Errorf("%w: class %v", ErrNoResources, cr.Class)
+		}
+		sort.Slice(hosts, func(a, b int) bool {
+			if hosts[a].Price != hosts[b].Price {
+				return hosts[a].Price < hosts[b].Price
+			}
+			return hosts[a].LOID.Less(hosts[b].LOID)
+		})
+		// Within one price tier, order is irrelevant to cost — shuffle it
+		// so concurrent cheapest-first buyers spread across equally-cheap
+		// hosts instead of all piling onto the lexicographically first
+		// one and thrashing its admission bound.
+		if env.Rand != nil {
+			for lo := 0; lo < len(hosts); {
+				hi := lo + 1
+				for hi < len(hosts) && hosts[hi].Price == hosts[lo].Price {
+					hi++
+				}
+				env.Rand.Shuffle(hi-lo, func(a, b int) {
+					hosts[lo+a], hosts[lo+b] = hosts[lo+b], hosts[lo+a]
+				})
+				lo = hi
+			}
+		}
+		// capFor bounds how many instances a host can finish within the
+		// deadline (with Margin headroom), under the same fluid capacity
+		// model the makespan judge applies: n tasks of the estimated
+		// duration complete in est×n×(1+load)/(CPUs×speed), where load
+		// includes the n/CPUs the placed instances themselves add once
+		// running.
+		margin := g.Margin
+		if margin <= 0 || margin > 1 {
+			margin = 0.75
+		}
+		budget := time.Duration(float64(deadline) * margin)
+		capFor := func(h HostInfo) int {
+			if deadline <= 0 {
+				return cr.Count
+			}
+			cpus := h.CPUs
+			if cpus < 1 {
+				cpus = 1
+			}
+			speed := h.Speed
+			if speed <= 0 {
+				speed = 1
+			}
+			n := 0
+			for n < cr.Count {
+				m := float64(n + 1)
+				t := float64(est) * m * (1 + h.Load + m/float64(cpus)) / (float64(cpus) * speed)
+				if time.Duration(t) > budget {
+					break
+				}
+				n++
+			}
+			return n
+		}
+		placed := 0
+		for hi := 0; hi < len(hosts) && placed < cr.Count; hi++ {
+			h := hosts[hi]
+			room := capFor(h)
+			if room <= 0 {
+				continue
+			}
+			n := cr.Count - placed
+			if room < n {
+				n = room
+			}
+			for k := 0; k < n; k++ {
+				idx := len(master.Mappings)
+				master.Mappings = append(master.Mappings, sched.Mapping{
+					Class: cr.Class, Host: h.LOID, Vault: h.Vaults[0],
+				})
+				totalCost += h.Price * est.Hours()
+				// Alternatives: the next-cheapest hosts that also meet
+				// the deadline, so enactment failures degrade to the
+				// next-best buy instead of a rescheduling round trip.
+				vn := 0
+				for aj := hi + 1; aj < len(hosts) && vn < nVar; aj++ {
+					if capFor(hosts[aj]) <= 0 {
+						continue
+					}
+					for len(master.Variants) <= vn {
+						master.Variants = append(master.Variants, sched.Variant{})
+					}
+					master.Variants[vn].AddReplacement(idx, sched.Mapping{
+						Class: cr.Class, Host: hosts[aj].LOID, Vault: hosts[aj].Vaults[0],
+					})
+					vn++
+				}
+			}
+			placed += n
+		}
+		if placed < cr.Count {
+			// The deadline leaves too little feasible capacity in the
+			// whole fleet. Best effort: spread the remainder across the
+			// fastest (least-loaded) hosts — the deadline will slip, but
+			// by the least the estimates allow.
+			byLoad := append([]HostInfo(nil), hosts...)
+			sort.Slice(byLoad, func(a, b int) bool {
+				if byLoad[a].Load != byLoad[b].Load {
+					return byLoad[a].Load < byLoad[b].Load
+				}
+				return byLoad[a].LOID.Less(byLoad[b].LOID)
+			})
+			for i := placed; i < cr.Count; i++ {
+				h := byLoad[(i-placed)%len(byLoad)]
+				master.Mappings = append(master.Mappings, sched.Mapping{
+					Class: cr.Class, Host: h.LOID, Vault: h.Vaults[0],
+				})
+				totalCost += h.Price * est.Hours()
+			}
+		}
+	}
+	if req.Res.Budget > 0 && totalCost > req.Res.Budget {
+		return sched.RequestList{}, fmt.Errorf("%w: cost %.6g > budget %.6g (tenant %q)",
+			ErrBudgetInfeasible, totalCost, req.Res.Budget, req.Res.Tenant)
+	}
+	return sched.RequestList{Masters: []sched.Master{master}, Res: req.Res}, nil
+}

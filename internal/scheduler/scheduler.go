@@ -132,6 +132,16 @@ type HostInfo struct {
 	CPUs   int
 	Zone   string
 	Cost   float64
+	// Price is the economy layer's advertised charge per instance-hour
+	// ($host_price); Spot marks preemptible spot capacity ($host_class
+	// == "spot"). The DeadlineBudget generator trades Price against
+	// estimated completion time.
+	Price  float64
+	Spot   bool
+	// Speed is the host's relative benchmark speed ($host_speed,
+	// 1.0 = baseline); deadline-aware schedulers scale completion
+	// estimates by it.
+	Speed  float64
 	Batch  bool
 	Vaults []loid.LOID
 	// Down is true when the record is flagged unreachable
@@ -283,6 +293,15 @@ func parseHostInfo(rec proto.CollectionRecord) HostInfo {
 	}
 	if v, ok := m["host_cost_per_cpu"]; ok {
 		h.Cost, _ = v.AsFloat()
+	}
+	if v, ok := m["host_price"]; ok {
+		h.Price, _ = v.AsFloat()
+	}
+	if v, ok := m["host_class"]; ok {
+		h.Spot = v.Str() == "spot"
+	}
+	if v, ok := m["host_speed"]; ok {
+		h.Speed, _ = v.AsFloat()
 	}
 	if v, ok := m["host_is_batch"]; ok {
 		h.Batch = v.BoolVal()

@@ -59,6 +59,10 @@ type DriverConfig struct {
 	Deadline time.Duration
 	// Priority stamps every request's reservation spec.
 	Priority int
+	// Spec, when non-nil, overrides the reservation spec for request i
+	// (economy campaigns stamp Tenant/Deadline/Budget per request); nil
+	// keeps the default shared hour-long reusable spec with Priority.
+	Spec func(i int) sched.ReservationSpec
 	// Generator computes schedules; nil means scheduler.Random{}.
 	Generator scheduler.Generator
 	// Wrapper bounds the Figure 9 retry protocol; zero limits default to
@@ -75,6 +79,11 @@ type DriverConfig struct {
 	// tearing them down; default false so capacity is conserved and the
 	// post-run audit expects an empty metasystem.
 	KeepInstances bool
+	// Observe, when non-nil, is called with each successful placement's
+	// outcome (request index, resolved schedule) before teardown. It
+	// runs on the placement's goroutine and must be safe for concurrent
+	// use; economy campaigns judge per-request deadline fit here.
+	Observe func(i int, out *scheduler.Outcome)
 	// Progress, when non-nil, is called after every arrival with
 	// (offered, total).
 	Progress func(done, total int)
@@ -199,17 +208,24 @@ func (f *Fleet) Drive(ctx context.Context, class *classobj.Class, cfg DriverConf
 			rctx, cancel = clock.WithTimeout(ctx, cfg.Deadline)
 			defer cancel()
 		}
+		spec := sched.ReservationSpec{
+			Share: true, Reuse: true, Duration: time.Hour,
+			Priority: cfg.Priority,
+		}
+		if cfg.Spec != nil {
+			spec = cfg.Spec(i)
+		}
 		t0 := clock.Now()
 		out, err := cfg.Wrapper.Run(rctx, &envi, enactorL, gen, scheduler.Request{
 			Classes: []scheduler.ClassRequest{{Class: class.LOID(), Count: cfg.Instances}},
-			Res: sched.ReservationSpec{
-				Share: true, Reuse: true, Duration: time.Hour,
-				Priority: cfg.Priority,
-			},
+			Res:     spec,
 		})
 		lat := clock.Since(t0)
 
 		if err == nil && out.Success {
+			if cfg.Observe != nil {
+				cfg.Observe(i, &out)
+			}
 			if !cfg.KeepInstances {
 				// Fresh context: the request deadline may be spent, and a
 				// successful placement must not leak because cleanup raced.

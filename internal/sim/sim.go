@@ -43,6 +43,11 @@ type HostSpec struct {
 	// MaxShared overrides the host's timesharing multiplex bound
 	// (0 keeps the host default of 4x CPUs).
 	MaxShared int
+	// Price is the economy layer's charge per instance-hour
+	// ($host_price, DESIGN.md §15); zero means unpriced.
+	Price float64
+	// Spot marks the host as preemptible spot capacity ($host_class).
+	Spot bool
 }
 
 // archetypes is a small catalogue of late-1990s machine types, matching
@@ -69,6 +74,23 @@ func RandomSpecs(rng *rand.Rand, n int, zones ...string) []HostSpec {
 		s.Zone = zones[rng.Intn(len(zones))]
 		s.Load = 0.1 + 0.5*rng.Float64()
 		specs[i] = s
+	}
+	return specs
+}
+
+// EconomySpecs draws n priced host specs for economy campaigns
+// (DESIGN.md §15): the archetype fleet with a per-instance-hour price
+// proportional to modelled capacity (speed × CPUs), and roughly a third
+// of the fleet sold as discounted preemptible spot capacity.
+func EconomySpecs(rng *rand.Rand, n int, zones ...string) []HostSpec {
+	specs := RandomSpecs(rng, n, zones...)
+	for i := range specs {
+		s := &specs[i]
+		s.Price = 0.05 * s.Speed * float64(s.CPUs)
+		if rng.Float64() < 0.3 {
+			s.Spot = true
+			s.Price *= 0.4
+		}
 	}
 	return specs
 }
@@ -137,6 +159,9 @@ func Build(ms *core.Metasystem, rng *rand.Rand, specs []HostSpec) *Fleet {
 			CPUs: s.CPUs, MemoryMB: s.MemoryMB, Zone: s.Zone,
 			CostPerCPU: s.Cost,
 			MaxShared:  s.MaxShared,
+			Price:      s.Price,
+			Spot:       s.Spot,
+			Speed:      s.Speed,
 			Vaults:     vaultSlices[s.Zone],
 		})
 		h.SetExternalLoad(s.Load)
