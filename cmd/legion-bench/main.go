@@ -55,6 +55,13 @@ var (
 	e14Requests = 20_000
 )
 
+// e15Steps sizes E15's predictive-vs-reactive virtual-time timeline;
+// e16Tasks sizes E16's parameter-space study. -steps/-tasks override.
+var (
+	e15Steps = 96
+	e16Tasks = 300
+)
+
 func catalogue() []experiment {
 	return []experiment{
 		{"T1", "Host interface per-op latency (Table 1)", func() *experiments.Table {
@@ -132,6 +139,12 @@ func catalogue() []experiment {
 		{"E14", "Computational economy: deadline/budget scheduling vs cost-blind policies", func() *experiments.Table {
 			return experiments.E14Economy(e14Hosts, e14Requests)
 		}},
+		{"E15", "Predictive (NWS forecast) vs reactive rebalancing", func() *experiments.Table {
+			return experiments.E15PredictiveRebalancing(e15Steps)
+		}},
+		{"E16", "Parameter-space study: reusable-reservation pool vs per-task negotiation (Table 2)", func() *experiments.Table {
+			return experiments.E16ParamSpaceThroughput(e16Tasks)
+		}},
 		{"A1", "Ablation: variants vs regenerate", func() *experiments.Table {
 			return experiments.A1VariantVsRegenerate(30, 3)
 		}},
@@ -158,6 +171,8 @@ func main() {
 		virtual   = flag.Bool("virtual", false, "run E12 at full committed scale (100k hosts / 1M placements; implies -run E12 when -run is unset)")
 		hosts     = flag.Int("hosts", 0, "override E12/E13/E14 fleet size (virtual-time hosts)")
 		requests  = flag.Int("requests", 0, "override E12/E13/E14 placement count")
+		steps     = flag.Int("steps", 0, "override E15's virtual-time step count")
+		tasks     = flag.Int("tasks", 0, "override E16's parameter-space task count")
 		input     = flag.String("input", "", "load tables from this -json output file instead of running experiments (for -compare/-slo on recorded results)")
 		slo       = flag.Bool("slo", false, "after running, check LEGION_PERF_* env ceilings against the result tables; exits 3 on violation")
 	)
@@ -176,6 +191,12 @@ func main() {
 	}
 	if *requests > 0 {
 		e12Requests, e13Requests, e14Requests = *requests, *requests, *requests
+	}
+	if *steps > 0 {
+		e15Steps = *steps
+	}
+	if *tasks > 0 {
+		e16Tasks = *tasks
 	}
 
 	cat := catalogue()

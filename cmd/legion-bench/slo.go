@@ -46,6 +46,20 @@ var sloSpecs = []sloSpec{
 	{env: "LEGION_PERF_E14_DB_SPEND_PCT_MAX", table: "E14",
 		match: []string{"deadline-budget"}, col: "spend vs random",
 		toUnit: 1, unitTag: "%"},
+	// E15: the predictive arm's quality metrics. The late-shed count is
+	// the headline — a forecast-driven shed landing after the watermark
+	// crossing means the predictor bought no lead time.
+	{env: "LEGION_PERF_E15_PRED_LATE_MAX", table: "E15",
+		match: []string{"predictive (trend)"}, col: "too late",
+		toUnit: 1, unitTag: " sheds"},
+	{env: "LEGION_PERF_E15_PRED_MEAN_LOAD_PCT_MAX", table: "E15",
+		match: []string{"predictive (trend)"}, col: "mean experienced load",
+		toUnit: 100, unitTag: "%"},
+	// E16: reservation traffic per task through the reusable pool,
+	// scaled to RPCs per 100 tasks so the ceiling stays an integer.
+	{env: "LEGION_PERF_E16_POOL_RPCS_PER_100_TASKS_MAX", table: "E16",
+		match: []string{"paramspace pool (4 slots, cap 64)"}, col: "RPCs/task",
+		toUnit: 100, unitTag: "/100 tasks"},
 }
 
 // findCell locates the spec's cell in the run's tables.

@@ -24,6 +24,7 @@ import (
 
 	"legion/internal/batchq"
 	"legion/internal/classobj"
+	"legion/internal/collection/daemon"
 	"legion/internal/core"
 	"legion/internal/economy"
 	"legion/internal/host"
@@ -62,6 +63,11 @@ func main() {
 		rebalanceCool = flag.Duration("rebalance-cooldown", 10*time.Second, "per-host hysteresis window between sheds")
 		rebalanceRate = flag.Float64("rebalance-rate", 0, "global migrations/sec cap (0 = unlimited)")
 		rebalanceSwp  = flag.Duration("rebalance-sweep", time.Minute, "reconcile sweep interval (0 disables the sweep)")
+
+		rebalancePred = flag.Bool("rebalance-predictive", false, "rebalance on NWS forecasts: a Collection daemon publishes $host_load_history and a periodic scan sheds hosts whose FORECAST load crosses the watermark (implies -rebalance)")
+		forecastWater = flag.Float64("rebalance-forecast-watermark", 0.8, "forecast load above which the predictive scan sheds (predictive mode)")
+		forecastScan  = flag.Duration("rebalance-forecast-scan", 15*time.Second, "forecast scan interval (predictive mode)")
+		forecastHist  = flag.Int("rebalance-history", 16, "load-history samples the Collection daemon publishes per host (predictive mode)")
 	)
 	flag.Parse()
 
@@ -148,12 +154,18 @@ func main() {
 	// A default user class so clients can place objects immediately.
 	workerClass := ms.DefineClass("Worker", []proto.Implementation{{Arch: *arch, OS: *osName}})
 
-	if *rebalanceOn {
-		rb := rebalance.New(ms, rebalance.Config{
+	if *rebalanceOn || *rebalancePred {
+		cfg := rebalance.Config{
 			Classes:    []*classobj.Class{workerClass},
 			Cooldown:   *rebalanceCool,
 			RatePerSec: *rebalanceRate,
-		})
+		}
+		var pol *rebalance.Predictive
+		if *rebalancePred {
+			pol = &rebalance.Predictive{Watermark: *forecastWater}
+			cfg.Policy = pol
+		}
+		rb := rebalance.New(ms, cfg)
 		if err := rb.Start(); err != nil {
 			log.Fatalf("rebalance: %v", err)
 		}
@@ -163,6 +175,18 @@ func main() {
 		}
 		if err := ms.WatchLoad(context.Background(), *rebalanceTh); err != nil {
 			log.Fatalf("rebalance: watch: %v", err)
+		}
+		if *rebalancePred {
+			// The forecast pipeline: the daemon's sweep records each
+			// host's rolling load history into the Collection, and the
+			// periodic scan extrapolates it, shedding hosts whose
+			// forecast — not current — load crosses the watermark.
+			d := ms.NewDaemonConfig(daemon.Config{Interval: *reassess, HistoryLen: *forecastHist})
+			d.Start()
+			defer d.Stop()
+			rb.StartForecastScan(*forecastScan, pol)
+			log.Printf("legiond: predictive rebalancer on (forecast watermark %.2f, scan %v, history %d)",
+				*forecastWater, *forecastScan, *forecastHist)
 		}
 		log.Printf("legiond: rebalancer on (threshold %.2f, cooldown %v, rate %.2f/s, sweep %v)",
 			*rebalanceTh, *rebalanceCool, *rebalanceRate, *rebalanceSwp)

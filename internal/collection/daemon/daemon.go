@@ -26,6 +26,7 @@ import (
 	"legion/internal/fanout"
 	"legion/internal/loid"
 	"legion/internal/monitor"
+	"legion/internal/nws"
 	"legion/internal/orb"
 	"legion/internal/proto"
 	"legion/internal/resilient"
@@ -38,6 +39,12 @@ const (
 	AttrAlive = "host_alive"
 	// AttrState carries the monitor.LivenessState string.
 	AttrState = "host_state"
+	// AttrLoadHistory is the rolling window of recent host_load samples
+	// the daemon accumulates across sweeps (oldest first) — the series
+	// nws.InjectForecast's forecast_load() consumes.
+	AttrLoadHistory = "host_load_history"
+	// AttrLoad is the instantaneous load attribute the history samples.
+	AttrLoad = "host_load"
 )
 
 // Config parameterizes a Daemon.
@@ -81,6 +88,13 @@ type Config struct {
 	// to bound memory while a Collection is unreachable (oldest entries
 	// are dropped and counted as errors).
 	BatchSize int
+	// HistoryLen > 0 makes each sweep record the resource's host_load
+	// into a rolling per-resource window of that many samples and
+	// deposit the window as the host_load_history attribute — the pull
+	// loop doubling as the NWS measurement sensor, so forecast_load()
+	// queries and predictive rebalancing have a series to predict from.
+	// Zero disables (no history attribute is deposited).
+	HistoryLen int
 }
 
 // Daemon pulls attribute snapshots from resources and pushes them into
@@ -94,6 +108,7 @@ type Daemon struct {
 	mu          sync.Mutex
 	resources   []loid.LOID
 	collections []loid.LOID
+	loadHist    map[loid.LOID][]float64 // rolling host_load windows (HistoryLen > 0)
 	joined      map[loid.LOID]bool
 	flagged     map[loid.LOID]bool // resources currently marked down
 	batches     map[loid.LOID]*collBatch
@@ -165,6 +180,7 @@ func New(rt *orb.Runtime, cfg Config) *Daemon {
 		cfg:         cfg,
 		call:        call,
 		live:        cfg.Liveness,
+		loadHist:    make(map[loid.LOID][]float64),
 		joined:      make(map[loid.LOID]bool),
 		flagged:     make(map[loid.LOID]bool),
 		batches:     make(map[loid.LOID]*collBatch),
@@ -344,6 +360,10 @@ func (d *Daemon) Sweep(ctx context.Context) int {
 			attr.Pair{Name: AttrAlive, Value: attr.Bool(true)},
 			attr.Pair{Name: AttrState, Value: attr.String(d.live.State(res).String())},
 		)
+		if hist, ok := d.recordLoad(res, attrs.Attrs); ok {
+			attrs.Attrs = append(attrs.Attrs,
+				attr.Pair{Name: AttrLoadHistory, Value: nws.HistoryAttr(hist)})
+		}
 		for _, coll := range collections {
 			if d.deposit(ctx, coll, res, attrs) {
 				oks[ri]++
@@ -355,6 +375,34 @@ func (d *Daemon) Sweep(ctx context.Context) int {
 		ok += n
 	}
 	return ok
+}
+
+// recordLoad folds the snapshot's host_load sample into the resource's
+// rolling window and returns a copy to deposit (shared batch buffers
+// outlive the next sweep's in-place roll). Disabled, load-less, and
+// non-numeric snapshots deposit nothing.
+func (d *Daemon) recordLoad(res loid.LOID, attrs []attr.Pair) ([]float64, bool) {
+	if d.cfg.HistoryLen <= 0 {
+		return nil, false
+	}
+	load, ok := 0.0, false
+	for _, p := range attrs {
+		if p.Name == AttrLoad {
+			load, ok = p.Value.AsFloat()
+			break
+		}
+	}
+	if !ok {
+		return nil, false
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	h := append(d.loadHist[res], load)
+	if len(h) > d.cfg.HistoryLen {
+		h = append(h[:0:0], h[len(h)-d.cfg.HistoryLen:]...)
+	}
+	d.loadHist[res] = h
+	return append([]float64(nil), h...), true
 }
 
 // flagDown marks a dead resource's records down in every Collection it

@@ -9,6 +9,7 @@ import (
 	"legion/internal/collection"
 	"legion/internal/host"
 	"legion/internal/loid"
+	"legion/internal/nws"
 	"legion/internal/orb"
 	"legion/internal/vault"
 	"legion/internal/vclock"
@@ -167,5 +168,61 @@ func TestMultipleCollections(t *testing.T) {
 	m := attr.FromPairs(recs[0].Attrs)
 	if m["host_loid"].Str() != h.LOID().String() {
 		t.Errorf("host_loid attr = %v", m["host_loid"])
+	}
+}
+
+func TestSweepPublishesLoadHistory(t *testing.T) {
+	rt := orb.NewRuntime("uva")
+	v := vault.New(rt, vault.Config{Zone: "z1"})
+	h := host.New(rt, host.Config{
+		Arch: "x86", OS: "Linux", CPUs: 2, MemoryMB: 256, Zone: "z1",
+		Vaults: []loid.LOID{v.LOID()},
+	})
+	c := collection.New(rt, nil)
+	d := New(rt, Config{Interval: 5 * time.Millisecond, HistoryLen: 3})
+	d.Watch(h.LOID())
+	d.PushInto(c.LOID())
+	ctx := context.Background()
+
+	// Each sweep samples the host's current load into the rolling window.
+	loads := []float64{0.2, 0.4, 0.6, 0.8}
+	for _, l := range loads {
+		h.SetExternalLoad(l)
+		h.Reassess(ctx)
+		if ok := d.Sweep(ctx); ok != 1 {
+			t.Fatalf("sweep deposits = %d", ok)
+		}
+	}
+
+	recs, err := c.Query(`defined($host_load_history)`)
+	if err != nil || len(recs) != 1 {
+		t.Fatalf("history record: %v %v", recs, err)
+	}
+	var histAttr attr.Value
+	for _, p := range recs[0].Attrs {
+		if p.Name == AttrLoadHistory {
+			histAttr = p.Value
+		}
+	}
+	hist, err := nws.HistoryFromAttr(histAttr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Window length 3: the first sample rolled out, newest last.
+	want := []float64{0.4, 0.6, 0.8}
+	if len(hist) != len(want) {
+		t.Fatalf("history = %v, want %v", hist, want)
+	}
+	for i := range want {
+		if diff := hist[i] - want[i]; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("history = %v, want %v", hist, want)
+		}
+	}
+
+	// The published series powers forecast_load() directly.
+	nws.InjectForecast(c, nil)
+	recs, err = c.Query(`forecast_load() > 0.3`)
+	if err != nil || len(recs) != 1 {
+		t.Errorf("forecast over published history: %v %v", recs, err)
 	}
 }

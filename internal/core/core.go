@@ -370,14 +370,34 @@ func (ms *Metasystem) Vaults() []*vault.Vault {
 // Collection records flagged down, which schedulers skip. The caller
 // drives sweeps (Sweep for one pass, Start for periodic).
 func (ms *Metasystem) NewDaemon() *daemon.Daemon {
-	d := daemon.New(ms.rt, daemon.Config{
-		Credential:    ms.opts.Credential,
-		Retry:         ms.opts.Retry,
-		Breakers:      ms.breakers,
-		Parallelism:   ms.opts.Parallelism,
-		BatchInterval: ms.opts.DaemonBatchInterval,
-		BatchSize:     ms.opts.DaemonBatchSize,
-	})
+	return ms.NewDaemonConfig(daemon.Config{})
+}
+
+// NewDaemonConfig is NewDaemon with explicit daemon configuration: zero
+// fields inherit the metasystem defaults. Callers use it to set the
+// pull interval or the rolling host_load_history window
+// (daemon.Config.HistoryLen — the series predictive rebalancing
+// forecasts from) without re-wiring the watch/push targets by hand.
+func (ms *Metasystem) NewDaemonConfig(cfg daemon.Config) *daemon.Daemon {
+	if cfg.Credential == "" {
+		cfg.Credential = ms.opts.Credential
+	}
+	if cfg.Retry.MaxAttempts == 0 {
+		cfg.Retry = ms.opts.Retry
+	}
+	if cfg.Breakers == nil {
+		cfg.Breakers = ms.breakers
+	}
+	if cfg.Parallelism == 0 {
+		cfg.Parallelism = ms.opts.Parallelism
+	}
+	if cfg.BatchInterval == 0 {
+		cfg.BatchInterval = ms.opts.DaemonBatchInterval
+	}
+	if cfg.BatchSize == 0 {
+		cfg.BatchSize = ms.opts.DaemonBatchSize
+	}
+	d := daemon.New(ms.rt, cfg)
 	for _, h := range ms.Hosts() {
 		d.Watch(h.LOID())
 	}

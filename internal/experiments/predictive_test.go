@@ -1,0 +1,57 @@
+package experiments
+
+import "testing"
+
+func TestE15PredictiveBeatsReactive(t *testing.T) {
+	tb := E15PredictiveRebalancing(48)
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows:\n%s", tb)
+	}
+	reactLate := numVal(t, cell(t, tb, "reactive", "too late"))
+	predLate := numVal(t, cell(t, tb, "predictive", "too late"))
+	reactMean := numVal(t, cell(t, tb, "reactive", "mean experienced load"))
+	predMean := numVal(t, cell(t, tb, "predictive", "mean experienced load"))
+	if predLate >= reactLate {
+		t.Errorf("predictive too-late %v >= reactive %v\n%s", predLate, reactLate, tb)
+	}
+	if predMean >= reactMean {
+		t.Errorf("predictive mean experienced %v >= reactive %v\n%s", predMean, reactMean, tb)
+	}
+	if m := numVal(t, cell(t, tb, "predictive", "migrations")); m < 1 {
+		t.Errorf("predictive arm never migrated\n%s", tb)
+	}
+	if e := numVal(t, cell(t, tb, "predictive", "early")); e < 1 {
+		t.Errorf("predictive arm made no early sheds\n%s", tb)
+	}
+}
+
+func TestE15Deterministic(t *testing.T) {
+	// Byte-identical replay: the fixed seed plus virtual clock must
+	// reproduce every cell exactly.
+	a, b := E15PredictiveRebalancing(24).String(), E15PredictiveRebalancing(24).String()
+	if a != b {
+		t.Errorf("E15 not deterministic:\n--- run 1\n%s\n--- run 2\n%s", a, b)
+	}
+}
+
+func TestE16PoolBeatsPerTaskRPCs(t *testing.T) {
+	tb := E16ParamSpaceThroughput(120)
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows:\n%s", tb)
+	}
+	// Equal goodput: both arms complete every task.
+	for _, row := range []string{"wrapper", "paramspace"} {
+		if f := numVal(t, cell(t, tb, row, "failed")); f != 0 {
+			t.Errorf("%s failed %v tasks\n%s", row, f, tb)
+		}
+		if s := numVal(t, cell(t, tb, row, "started")); s != 120 {
+			t.Errorf("%s started %v, want 120\n%s", row, s, tb)
+		}
+	}
+	// The acceptance bar: >= 5x fewer reservation RPCs per task.
+	per := numVal(t, cell(t, tb, "wrapper", "RPCs/task"))
+	pool := numVal(t, cell(t, tb, "paramspace", "RPCs/task"))
+	if pool*5 > per {
+		t.Errorf("pool RPCs/task %v not 5x under per-task %v\n%s", pool, per, tb)
+	}
+}

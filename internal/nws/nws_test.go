@@ -132,6 +132,134 @@ func TestAdaptivePrefersSmoothingOnOscillation(t *testing.T) {
 	}
 }
 
+func TestAdaptiveAdaptsToRegimeChange(t *testing.T) {
+	// Phase 1: a steep ramp (step +10), where last-value (error 10/step)
+	// crushes the 4-wide window mean (error 25/step). Phase 2: the
+	// series flips to an oscillation around a plateau (±5), where the
+	// window mean (error 5/step) crushes last-value (error 10/step).
+	//
+	// The accumulate-forever scoring this test regressed against built a
+	// ~105k squared-error lead for last-value during phase 1; the ~75 per
+	// step phase 2 earns back would have needed ~1400 oscillation steps
+	// to flip the ranking, so after 150 steps the meta-predictor was
+	// still forecasting with last-value. Sliding-window scoring forgets
+	// phase 1 within DefaultErrorWindow observations and flips.
+	a := NewAdaptive(LastValue{}, WindowMean{K: 4})
+	for i := 0; i < 300; i++ {
+		a.Observe(float64(i) * 10)
+	}
+	if _, name, _ := a.Forecast(); name != "last" {
+		t.Fatalf("best on ramp = %q, want last", name)
+	}
+	for i := 0; i < 150; i++ {
+		v := 3000.0 - 5
+		if i%2 == 0 {
+			v = 3000.0 + 5
+		}
+		a.Observe(v)
+	}
+	_, name, err := a.Forecast()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "win-mean-4" {
+		t.Errorf("best after regime change = %q, want win-mean-4 (stale all-time error ranking?)", name)
+	}
+}
+
+// countingPredictor counts full-history Predict calls; its incremental
+// state does not use Predict at all.
+type countingPredictor struct{ predicts *int }
+
+func (countingPredictor) Name() string { return "counting" }
+func (c countingPredictor) Predict(h []float64) float64 {
+	*c.predicts++
+	return h[len(h)-1]
+}
+func (c countingPredictor) NewState() State { return &lastState{} }
+
+func TestObserveIsIncremental(t *testing.T) {
+	// Observe must never re-run a predictor over the full history: for
+	// Incremental bank members the per-observation work is the State
+	// update, so Predict (the O(len(history)) path) stays uncalled no
+	// matter how many observations arrive.
+	calls := 0
+	a := NewAdaptive(countingPredictor{predicts: &calls}, LastValue{})
+	for i := 0; i < 1000; i++ {
+		a.Observe(float64(i % 7))
+	}
+	if calls != 0 {
+		t.Errorf("Observe ran full-history Predict %d times, want 0", calls)
+	}
+	if _, _, err := a.Forecast(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIncrementalStatesMatchPredict(t *testing.T) {
+	// Each built-in predictor's incremental state must forecast exactly
+	// what Predict over the same (untrimmed) history forecasts.
+	preds := []Incremental{LastValue{}, RunningMean{}, WindowMean{K: 5},
+		WindowMedian{K: 5}, WindowMedian{K: 4}, ExpSmoothing{Alpha: 0.3},
+		Trend{K: 4}, Trend{K: 16}}
+	h := []float64{0.9, 0.1, 0.5, 0.5, 0.7, 0.2, 0.8, 0.4, 0.6, 0.3}
+	for _, p := range preds {
+		st := p.NewState()
+		for i, v := range h {
+			st.Observe(v)
+			want := p.Predict(h[:i+1])
+			if got := st.Forecast(); !almost(got, want) {
+				t.Errorf("%s state at %d: %v, want %v", p.Name(), i, got, want)
+			}
+		}
+	}
+}
+
+func TestTrendExtrapolates(t *testing.T) {
+	// The point of Trend: its forecast leaves the range of the history.
+	// A perfect ramp extrapolates exactly one slope step beyond the last
+	// sample.
+	got := Trend{K: 4}.Predict([]float64{0.3, 0.45, 0.6, 0.75})
+	if !almost(got, 0.9) {
+		t.Errorf("ramp forecast = %v, want 0.9", got)
+	}
+	// Flat series: flat forecast.
+	if got := (Trend{K: 4}).Predict([]float64{0.5, 0.5, 0.5}); !almost(got, 0.5) {
+		t.Errorf("flat forecast = %v, want 0.5", got)
+	}
+	// Degenerate windows never panic: single point predicts itself.
+	if got := (Trend{K: 4}).Predict([]float64{0.7}); !almost(got, 0.7) {
+		t.Errorf("singleton forecast = %v, want 0.7", got)
+	}
+}
+
+func TestBankPicksBestMember(t *testing.T) {
+	// On a ramp the Bank must answer with last-value's forecast; on an
+	// oscillation with the window mean's.
+	ramp := make([]float64, 40)
+	for i := range ramp {
+		ramp[i] = float64(i) * 10
+	}
+	b := Bank{Members: []Predictor{LastValue{}, WindowMean{K: 4}}}
+	if got := b.Predict(ramp); !almost(got, 390) {
+		t.Errorf("bank on ramp = %v, want 390 (last value)", got)
+	}
+	osc := make([]float64, 40)
+	for i := range osc {
+		osc[i] = 5
+		if i%2 == 0 {
+			osc[i] = -5
+		}
+	}
+	want := (WindowMean{K: 4}).Predict(osc)
+	if got := b.Predict(osc); !almost(got, want) {
+		t.Errorf("bank on oscillation = %v, want %v (win-mean)", got, want)
+	}
+	if got := b.Predict([]float64{0.7}); !almost(got, 0.7) {
+		t.Errorf("bank on singleton = %v", got)
+	}
+}
+
 func TestAdaptiveEmpty(t *testing.T) {
 	a := NewAdaptive()
 	if _, _, err := a.Forecast(); err == nil {

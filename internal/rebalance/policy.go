@@ -49,28 +49,7 @@ func (p *LeastLoaded) Plan(ctx context.Context, ev proto.NotifyArgs, ms *core.Me
 		shed = 1
 	}
 
-	// Victims: managed instances the class records place on the source.
-	type victim struct {
-		class *classobj.Class
-		inst  loid.LOID
-		vault loid.LOID
-	}
-	var victims []victim
-	for _, c := range classes {
-		for _, inst := range c.Instances() {
-			h, v, err := c.WhereIs(inst)
-			if err != nil || h != ev.Source {
-				continue
-			}
-			victims = append(victims, victim{class: c, inst: inst, vault: v})
-			if len(victims) >= shed {
-				break
-			}
-		}
-		if len(victims) >= shed {
-			break
-		}
-	}
+	victims := victimsOn(ev.Source, classes, shed)
 	if len(victims) == 0 {
 		return nil, nil
 	}
@@ -114,6 +93,33 @@ func (p *LeastLoaded) candidates(ctx context.Context, source loid.LOID, ms *core
 	return candidateHosts(ctx, source, ms, p.Query)
 }
 
+// victim is one shed candidate: a managed instance placed on the
+// overloaded source.
+type victim struct {
+	class *classobj.Class
+	inst  loid.LOID
+	vault loid.LOID
+}
+
+// victimsOn lists up to shed managed instances the class records place
+// on source. Shared by every rebalancing policy.
+func victimsOn(source loid.LOID, classes []*classobj.Class, shed int) []victim {
+	var victims []victim
+	for _, c := range classes {
+		for _, inst := range c.Instances() {
+			h, v, err := c.WhereIs(inst)
+			if err != nil || h != source {
+				continue
+			}
+			victims = append(victims, victim{class: c, inst: inst, vault: v})
+			if len(victims) >= shed {
+				return victims
+			}
+		}
+	}
+	return victims
+}
+
 // candidateHosts returns usable destination host records for a shed off
 // source, Collection-first with a metasystem-introspection fallback.
 // Shared by every rebalancing policy.
@@ -153,6 +159,14 @@ func candidateHosts(ctx context.Context, source loid.LOID, ms *core.Metasystem, 
 // rankCandidates orders destinations: current-vault-reachable first,
 // then same-zone, then the rest; each tier sorted by ascending load.
 func rankCandidates(cands []scheduler.HostInfo, curVault loid.LOID, vaultZone string) []scheduler.HostInfo {
+	return rankCandidatesBy(cands, curVault, vaultZone,
+		func(hi scheduler.HostInfo) float64 { return hi.Load })
+}
+
+// rankCandidatesBy is rankCandidates with a pluggable coolness key —
+// predictive policies rank by forecast load, reactive ones by current
+// load; the vault/zone tiering is identical.
+func rankCandidatesBy(cands []scheduler.HostInfo, curVault loid.LOID, vaultZone string, key func(scheduler.HostInfo) float64) []scheduler.HostInfo {
 	tier := func(hi scheduler.HostInfo) int {
 		for _, v := range hi.Vaults {
 			if v == curVault {
@@ -170,7 +184,7 @@ func rankCandidates(cands []scheduler.HostInfo, curVault loid.LOID, vaultZone st
 		if ti != tj {
 			return ti < tj
 		}
-		return out[i].Load < out[j].Load
+		return key(out[i]) < key(out[j])
 	})
 	return out
 }

@@ -108,6 +108,8 @@ type Rebalancer struct {
 	stopMon   func() // detaches the OnEventAsync subscription
 	stopSweep chan struct{}
 	sweepWG   sync.WaitGroup
+	stopScan  chan struct{} // forecast scan (predictive.go)
+	scanWG    sync.WaitGroup
 	lastShed  map[loid.LOID]time.Time // source host -> last successful shed
 	inflight  map[loid.LOID]bool      // instances being migrated by us
 	tokens    float64                 // rate-limit bucket level
@@ -216,8 +218,10 @@ func (r *Rebalancer) Stop() {
 	r.mu.Lock()
 	stopMon := r.stopMon
 	stopSweep := r.stopSweep
+	stopScan := r.stopScan
 	r.stopMon = nil
 	r.stopSweep = nil
+	r.stopScan = nil
 	r.started = false
 	r.mu.Unlock()
 	if stopMon != nil {
@@ -226,6 +230,10 @@ func (r *Rebalancer) Stop() {
 	if stopSweep != nil {
 		close(stopSweep)
 		r.sweepWG.Wait()
+	}
+	if stopScan != nil {
+		close(stopScan)
+		r.scanWG.Wait()
 	}
 }
 

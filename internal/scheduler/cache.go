@@ -34,7 +34,7 @@ type HostCache struct {
 	mu      sync.Mutex
 	entries map[string]hostCacheEntry
 
-	hits, misses int64
+	hits, misses, evicted int64
 }
 
 type hostCacheEntry struct {
@@ -86,13 +86,27 @@ func (c *HostCache) getUsable(query string) ([]HostInfo, int, bool) {
 	return e.usable, e.skipped, true
 }
 
-// put stores a freshly fetched result.
+// put stores a freshly fetched result, first sweeping out every expired
+// entry. Without the sweep, entries are only ever overwritten (same
+// query string) or mass-dropped by Invalidate, so a workload whose query
+// strings vary — per-class filters, per-tenant predicates — leaks one
+// parsed fleet snapshot per distinct string forever. Sweeping here keeps
+// the map bounded by the number of query shapes live within one TTL, at
+// O(entries) per put; puts happen at most once per TTL per shape, so the
+// sweep never dominates the fetch it rides on.
 func (c *HostCache) put(query string, hosts []HostInfo, skipped int) {
+	now := c.clock.Now()
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	for q, e := range c.entries {
+		if now.Sub(e.fetched) >= c.ttl {
+			delete(c.entries, q)
+			c.evicted++
+		}
+	}
 	c.entries[query] = hostCacheEntry{
 		hosts: hosts, usable: usable(hosts),
-		skipped: skipped, fetched: c.clock.Now(),
+		skipped: skipped, fetched: now,
 	}
 }
 
@@ -110,4 +124,18 @@ func (c *HostCache) Stats() (hits, misses int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.hits, c.misses
+}
+
+// Len reports how many entries (live or not-yet-swept) the cache holds.
+func (c *HostCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Evicted reports how many expired entries put has swept out.
+func (c *HostCache) Evicted() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.evicted
 }

@@ -148,6 +148,11 @@ type HostInfo struct {
 	// (host_alive == false, set by the Collection daemon's failure
 	// detector); schedulers skip such hosts.
 	Down bool
+	// LoadHistory is the rolling window of recent host_load samples the
+	// Collection daemon publishes as $host_load_history (oldest first);
+	// empty when the record carries none. Forecast-driven policies feed
+	// it to an nws.Predictor instead of trusting the instantaneous Load.
+	LoadHistory []float64
 }
 
 // queryClassImpls fetches a class's available implementations (Fig 7:
@@ -308,6 +313,13 @@ func parseHostInfo(rec proto.CollectionRecord) HostInfo {
 	}
 	if v, ok := m["host_alive"]; ok {
 		h.Down = !v.BoolVal()
+	}
+	if v, ok := m["host_load_history"]; ok && v.Kind() == attr.KindList {
+		for i := 0; i < v.Len(); i++ {
+			if f, fok := v.At(i).AsFloat(); fok {
+				h.LoadHistory = append(h.LoadHistory, f)
+			}
+		}
 	}
 	if v, ok := m["host_vaults"]; ok && v.Kind() == attr.KindList {
 		for i := 0; i < v.Len(); i++ {
